@@ -1,0 +1,21 @@
+//! Application algorithms from the paper's evaluation (Section 7):
+//!
+//! * [`im`] — influence maximization under the Independent Cascade model:
+//!   Monte-Carlo spread estimation and CELF lazy-greedy seed selection (the
+//!   stand-in for PMC \[28\]; the SSM experiment of Table 6 consumes only the
+//!   resulting seed set, so the estimator choice does not affect it).
+//! * [`clique`] — exact maximum clique (branch and bound with a greedy
+//!   coloring bound, following the spirit of \[22\]).
+//! * [`triangles`] — triangle listing in degeneracy order.
+//! * [`cluster`] — clustering a family of vertex sets into symmetry classes
+//!   via AutoTree keys (Table 7).
+//! * [`quotient`] — network quotients and structure entropy (the network
+//!   simplification/measurement applications of the introduction).
+
+#![warn(missing_docs)]
+
+pub mod clique;
+pub mod cluster;
+pub mod im;
+pub mod quotient;
+pub mod triangles;

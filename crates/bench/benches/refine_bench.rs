@@ -1,0 +1,43 @@
+//! Microbenchmarks for the refinement function `R` — the inner loop of
+//! both the IR baseline and DviCL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvicl_graph::Coloring;
+use dvicl_refine::{refine, refine_individualized};
+
+fn bench_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine");
+    group.sample_size(20);
+    let cases = vec![
+        ("social-5k", dvicl_data::social::generate(&dvicl_data::social::SocialConfig::default())),
+        ("grid-12", dvicl_data::bench_graphs::wrapped_grid(&[12, 12, 12])),
+        ("pg2-23", dvicl_data::bench_graphs::pg2(23)),
+        ("cfi-100", dvicl_data::bench_graphs::cfi(&dvicl_data::bench_graphs::cubic_circulant(100), false)),
+    ];
+    for (name, g) in &cases {
+        group.bench_with_input(BenchmarkId::new("unit", name), g, |b, g| {
+            let pi = Coloring::unit(g.n());
+            b.iter(|| refine(g, &pi));
+        });
+        group.bench_with_input(BenchmarkId::new("individualize", name), g, |b, g| {
+            let pi = refine(g, &Coloring::unit(g.n())).coloring;
+            // Individualize the first vertex of the first non-singleton
+            // cell (or vertex 0 on discrete colorings).
+            let v = pi
+                .cells()
+                .iter()
+                .find(|c| c.len() > 1)
+                .map(|c| c[0])
+                .unwrap_or(0);
+            if pi.cell_len_of(v) > 1 {
+                b.iter(|| refine_individualized(g, &pi, v));
+            } else {
+                b.iter(|| refine(g, &pi));
+            }
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refine);
+criterion_main!(benches);

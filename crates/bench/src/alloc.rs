@@ -1,0 +1,76 @@
+//! Counting global allocator: live/peak heap bytes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A `#[global_allocator]` wrapper over the system allocator that tracks
+/// live and peak heap usage. Install it in a binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
+/// ```
+pub struct Meter;
+
+unsafe impl GlobalAlloc for Meter {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+/// Currently live heap bytes.
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live value and returns a token; call
+/// [`peak_bytes`] after the measured region.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Peak heap bytes since the last [`reset_peak`], minus the live bytes at
+/// that reset — i.e. the extra memory the measured region needed.
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Formats a byte count the way the paper's tables do (MB with decimals).
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_mb_rounds_to_two_decimals() {
+        assert_eq!(fmt_mb(0), "0.00");
+        assert_eq!(fmt_mb(1024 * 1024), "1.00");
+        assert_eq!(fmt_mb(1536 * 1024), "1.50");
+        assert_eq!(fmt_mb(10 * 1024 * 1024 + 52429), "10.05");
+    }
+
+    #[test]
+    fn counters_are_monotone_snapshots() {
+        // Without the Meter installed as the global allocator these stay
+        // zero; with it they only grow. Either way the API is total.
+        let live = live_bytes();
+        reset_peak();
+        assert!(peak_bytes() >= live);
+    }
+}

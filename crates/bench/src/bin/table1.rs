@@ -1,0 +1,38 @@
+//! Table 1: summarization of the real-graph analogs — |V|, |E|, dmax,
+//! davg, and the orbit coloring's cell/singleton counts.
+//!
+//! Paper claim reproduced: the overwhelming majority of orbit cells are
+//! singletons, which is what makes DivideI/DivideS effective.
+
+use dvicl_bench::suite::{print_header, print_row};
+use dvicl_core::{aut, build_autotree, DviclOptions};
+use dvicl_graph::Coloring;
+
+#[global_allocator]
+static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
+
+fn main() {
+    let widths = [16, 9, 10, 7, 7, 9, 10];
+    println!("Table 1: summarization of real-graph analogs");
+    print_header(
+        &["Graph", "|V|", "|E|", "dmax", "davg", "cells", "singleton"],
+        &widths,
+    );
+    for d in dvicl_data::social_suite() {
+        let g = (d.build)();
+        let tree = build_autotree(&g, &Coloring::unit(g.n()), &DviclOptions::default());
+        let mut orbits = aut::orbits(&tree);
+        print_row(
+            &[
+                d.name.to_string(),
+                g.n().to_string(),
+                g.m().to_string(),
+                g.max_degree().to_string(),
+                format!("{:.2}", g.avg_degree()),
+                orbits.count().to_string(),
+                orbits.count_singletons().to_string(),
+            ],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Table 4: the structure of the AutoTrees of the benchmark graphs.
+//!
+//! Paper claim reproduced: most benchmark AutoTrees are a single root node
+//! (the whole graph is one non-singleton leaf), so DviCL cannot help there
+//! — the exceptions being the SAT-circuit graphs.
+
+use dvicl_bench::suite::{print_header, print_row};
+use dvicl_canon::Config;
+use dvicl_core::{build_autotree, DviclOptions};
+use dvicl_graph::Coloring;
+
+#[global_allocator]
+static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
+
+fn main() {
+    let widths = [16, 10, 11, 14, 9, 6];
+    println!("Table 4: AutoTree structure on benchmark graphs");
+    print_header(
+        &["Graph", "|V(AT)|", "singleton", "non-singleton", "avg size", "depth"],
+        &widths,
+    );
+    for d in dvicl_data::benchmark_suite() {
+        let g = (d.build)();
+        // The traces-like engine is the robust one on the regular
+        // benchmark families (cf. Table 8), so it labels the leaves here.
+        let opts = DviclOptions {
+            leaf_config: Config::traces_like(),
+            ..DviclOptions::default()
+        };
+        let tree = build_autotree(&g, &Coloring::unit(g.n()), &opts);
+        let s = tree.stats();
+        print_row(
+            &[
+                d.name.to_string(),
+                s.total_nodes.to_string(),
+                s.singleton_leaves.to_string(),
+                s.non_singleton_leaves.to_string(),
+                format!("{:.2}", s.avg_non_singleton_size),
+                s.depth.to_string(),
+            ],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Table 8: time (s) of the baseline engines X and DviCL+X on the
+//! benchmark graphs.
+//!
+//! Paper claims reproduced: the traces-like engine is the most robust on
+//! benchmarks; DviCL+X ≈ X on these graphs (their AutoTrees are mostly a
+//! single leaf, Table 4, so DviCL adds only a vanishing preprocessing
+//! cost).
+
+use dvicl_bench::suite::{engines, print_header, print_row, run_baseline, run_dvicl};
+
+#[global_allocator]
+static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
+
+fn main() {
+    let widths = [16, 9, 10, 9, 10, 9, 10];
+    println!(
+        "Table 8: performance on benchmark graphs (budget per baseline run: {:?})",
+        dvicl_bench::suite::budget()
+    );
+    print_header(
+        &["Graph", "nauty", "DviCL+n", "traces", "DviCL+t", "bliss", "DviCL+b"],
+        &widths,
+    );
+    for d in dvicl_data::benchmark_suite() {
+        let g = (d.build)();
+        let mut cols = vec![d.name.to_string()];
+        for (_, config) in engines() {
+            let base = run_baseline(&g, &config);
+            cols.push(base.fmt_time());
+            let (dv, _) = run_dvicl(&g, &config);
+            cols.push(dv.fmt_time());
+        }
+        print_row(&cols, &widths);
+    }
+}

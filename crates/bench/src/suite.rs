@@ -1,0 +1,160 @@
+//! Shared helpers for the table binaries.
+
+use dvicl_canon::{try_canonical_form, Config, SearchLimits};
+use dvicl_core::{try_build_autotree, AutoTree, DviclOptions};
+use dvicl_graph::{Coloring, Graph};
+use std::time::{Duration, Instant};
+
+/// The three baseline engines of the paper's evaluation and their
+/// `DviCL+X` counterparts. The names mirror the paper's columns; see
+/// `dvicl-canon` for what each configuration stands in for.
+pub fn engines() -> Vec<(&'static str, Config)> {
+    vec![
+        ("nauty", Config::nauty_like()),
+        ("traces", Config::traces_like()),
+        ("bliss", Config::bliss_like()),
+    ]
+}
+
+/// Wall-clock budget for one baseline run. The paper allowed 2 hours on
+/// graphs two orders of magnitude larger; the scaled default is 20 s and
+/// can be overridden with `DVICL_BUDGET_SECS`.
+pub fn budget() -> Duration {
+    let secs = std::env::var("DVICL_BUDGET_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(20);
+    Duration::from_secs(secs)
+}
+
+/// Outcome of one measured run.
+pub struct Run {
+    /// Wall-clock seconds, `None` if the budget was exceeded.
+    pub secs: Option<f64>,
+    /// Peak extra heap bytes during the run.
+    pub peak_bytes: usize,
+}
+
+impl Run {
+    /// Formats the time column the way the paper does (`-` = exceeded).
+    pub fn fmt_time(&self) -> String {
+        match self.secs {
+            Some(s) if s < 0.01 => "<0.01".to_string(),
+            Some(s) => format!("{s:.2}"),
+            None => "-".to_string(),
+        }
+    }
+
+    /// Formats the memory column (MB; `-` when the run did not finish).
+    pub fn fmt_mem(&self) -> String {
+        match self.secs {
+            Some(_) => crate::alloc::fmt_mb(self.peak_bytes),
+            None => "-".to_string(),
+        }
+    }
+}
+
+/// Runs a baseline engine `X` alone on `(g, unit)` under the budget.
+pub fn run_baseline(g: &Graph, config: &Config) -> Run {
+    crate::alloc::reset_peak();
+    let before = crate::alloc::live_bytes();
+    let t0 = Instant::now();
+    let limits = SearchLimits::with_time(budget());
+    let result = try_canonical_form(g, &Coloring::unit(g.n()), config, limits);
+    let secs = t0.elapsed().as_secs_f64();
+    Run {
+        secs: result.ok().map(|_| secs),
+        peak_bytes: crate::alloc::peak_bytes().saturating_sub(before),
+    }
+}
+
+/// Runs `DviCL+X` (AutoTree construction with `X` as the leaf labeler),
+/// under the same per-run budget as the baselines (a benchmark graph can
+/// be one huge leaf).
+pub fn run_dvicl(g: &Graph, config: &Config) -> (Run, Option<AutoTree>) {
+    crate::alloc::reset_peak();
+    let before = crate::alloc::live_bytes();
+    let t0 = Instant::now();
+    let opts = DviclOptions {
+        leaf_config: config.clone(),
+        leaf_limits: SearchLimits::with_time(budget()),
+        ..DviclOptions::default()
+    };
+    let tree = try_build_autotree(g, &Coloring::unit(g.n()), &opts).ok();
+    let secs = t0.elapsed().as_secs_f64();
+    (
+        Run {
+            secs: tree.is_some().then_some(secs),
+            peak_bytes: crate::alloc::peak_bytes().saturating_sub(before),
+        },
+        tree,
+    )
+}
+
+/// Prints a row of `|`-free aligned columns.
+pub fn print_row(cols: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (i, c) in cols.iter().enumerate() {
+        let w = widths.get(i).copied().unwrap_or(12);
+        line.push_str(&format!("{c:>w$}  "));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Prints a left-aligned header row.
+pub fn print_header(cols: &[&str], widths: &[usize]) {
+    let strings: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+    print_row(&strings, widths);
+    let total: usize = widths.iter().map(|w| w + 2).sum();
+    println!("{}", "-".repeat(total));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_formats_like_the_paper() {
+        let finished = Run {
+            secs: Some(1.234),
+            peak_bytes: 3 * 1024 * 1024,
+        };
+        assert_eq!(finished.fmt_time(), "1.23");
+        assert_eq!(finished.fmt_mem(), "3.00");
+        let fast = Run {
+            secs: Some(0.004),
+            peak_bytes: 10,
+        };
+        assert_eq!(fast.fmt_time(), "<0.01");
+        let failed = Run {
+            secs: None,
+            peak_bytes: 999,
+        };
+        assert_eq!(failed.fmt_time(), "-");
+        assert_eq!(failed.fmt_mem(), "-");
+    }
+
+    #[test]
+    fn engines_match_the_paper_columns() {
+        let names: Vec<&str> = engines().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["nauty", "traces", "bliss"]);
+    }
+
+    #[test]
+    fn baseline_and_dvicl_agree_on_a_small_graph() {
+        let g = dvicl_graph::named::fig1_example();
+        for (_, config) in engines() {
+            let base = run_baseline(&g, &config);
+            assert!(base.secs.is_some(), "tiny graph must finish");
+            let (run, tree) = run_dvicl(&g, &config);
+            assert!(run.secs.is_some());
+            assert_eq!(tree.expect("built").stats().total_nodes, 7);
+        }
+    }
+
+    #[test]
+    fn budget_env_override() {
+        // Whatever the ambient env, budget() is positive and finite.
+        assert!(budget().as_secs() >= 1);
+    }
+}

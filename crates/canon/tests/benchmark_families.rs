@@ -1,0 +1,165 @@
+//! The IR engines against the benchmark graph families at test scale:
+//! every configuration must produce relabeling-invariant certificates and
+//! find the full automorphism group, including on the refinement-defeating
+//! CFI instances.
+
+use dvicl_canon::{canonical_form, try_canonical_form, Config, SearchLimits};
+use dvicl_data::bench_graphs;
+use dvicl_graph::{Coloring, Graph, Perm, V};
+use dvicl_group::StabChain;
+
+fn shuffle(n: usize, seed: u64) -> Perm {
+    let mut image: Vec<V> = (0..n as V).collect();
+    let mut state = seed | 1;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        image.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    Perm::from_image(image).expect("bijection")
+}
+
+fn check_invariance(name: &str, g: &Graph, config: &Config) {
+    let pi = Coloring::unit(g.n());
+    let r1 = canonical_form(g, &pi, config);
+    for round in 0..2 {
+        let gamma = shuffle(g.n(), 0xfeed + round);
+        let r2 = canonical_form(&g.permuted(&gamma), &pi, config);
+        assert_eq!(r1.form, r2.form, "{name}: certificate not invariant");
+        // Group order must be invariant too.
+        assert_eq!(
+            StabChain::new(g.n(), &r1.generators).order(),
+            StabChain::new(g.n(), &r2.generators).order(),
+            "{name}: group order not invariant"
+        );
+    }
+}
+
+#[test]
+fn small_geometric_graphs_all_configs() {
+    for (name, g) in [
+        ("ag2-5", bench_graphs::ag2(5)),
+        ("pg2-3", bench_graphs::pg2(3)),
+        ("had-8", bench_graphs::hadamard(8)),
+    ] {
+        for config in [Config::bliss_like(), Config::nauty_like(), Config::traces_like()] {
+            check_invariance(name, &g, &config);
+        }
+    }
+}
+
+#[test]
+fn medium_geometric_graphs_traces() {
+    // The traces-like engine must stay fast at these scales (Table 8).
+    for (name, g) in [
+        ("ag2-13", bench_graphs::ag2(13)),
+        ("pg2-13", bench_graphs::pg2(13)),
+        ("had-32", bench_graphs::hadamard(32)),
+        ("grid-3x6", bench_graphs::wrapped_grid(&[6, 6, 6])),
+    ] {
+        check_invariance(name, &g, &Config::traces_like());
+    }
+}
+
+#[test]
+fn cfi_pairs_are_separated_by_all_configs() {
+    let base = bench_graphs::cubic_circulant(8);
+    let a = bench_graphs::cfi(&base, false);
+    let b = bench_graphs::cfi(&base, true);
+    let pi = Coloring::unit(a.n());
+    for config in [Config::bliss_like(), Config::nauty_like(), Config::traces_like()] {
+        let fa = canonical_form(&a, &pi, &config).form;
+        let fb = canonical_form(&b, &pi, &config).form;
+        assert_ne!(fa, fb, "{config:?} failed to separate the CFI pair");
+    }
+}
+
+#[test]
+fn ag2_group_order_is_the_affine_group() {
+    // |Aut(AG(2,q) incidence graph)| = |AGL(2,q)| = q²(q²−1)(q²−q)
+    // for prime q > 2 (the plane's automorphisms; no duality for AG).
+    let q = 5u64;
+    let g = bench_graphs::ag2(q as usize);
+    let r = canonical_form(&g, &Coloring::unit(g.n()), &Config::traces_like());
+    let expected = q * q * (q * q - 1) * (q * q - q);
+    assert_eq!(
+        StabChain::new(g.n(), &r.generators).order().to_u64(),
+        Some(expected)
+    );
+}
+
+#[test]
+fn pg2_group_order_is_pgl_with_duality() {
+    // |Aut(PG(2,q) incidence graph)| = 2·|PGL(3,q)| (the factor 2 is
+    // point–line duality). |PGL(3,q)| = q³(q³−1)(q²−1).
+    let q = 3u64;
+    let g = bench_graphs::pg2(q as usize);
+    let r = canonical_form(&g, &Coloring::unit(g.n()), &Config::traces_like());
+    let pgl = q.pow(3) * (q.pow(3) - 1) * (q.pow(2) - 1);
+    assert_eq!(
+        StabChain::new(g.n(), &r.generators).order().to_u64(),
+        Some(2 * pgl)
+    );
+}
+
+#[test]
+fn budget_is_respected_quickly() {
+    let g = bench_graphs::ag2(23);
+    let t0 = std::time::Instant::now();
+    let r = try_canonical_form(
+        &g,
+        &Coloring::unit(g.n()),
+        &Config::nauty_like(),
+        SearchLimits::with_time(std::time::Duration::from_millis(300)),
+    );
+    // Either it finished fast or it aborted close to the deadline.
+    if r.is_err() {
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+    }
+}
+
+#[test]
+fn group_only_mode_matches_full_search() {
+    use dvicl_canon::automorphism_group;
+    for g in [
+        dvicl_graph::named::fig1_example(),
+        dvicl_graph::named::petersen(),
+        dvicl_graph::named::hypercube(3),
+        bench_graphs::ag2(5),
+    ] {
+        let pi = Coloring::unit(g.n());
+        let full = canonical_form(&g, &pi, &Config::bliss_like());
+        let group = automorphism_group(&g, &pi, &Config::bliss_like(), SearchLimits::default())
+            .expect("no limits set");
+        // Same group order (node counts can differ in either direction:
+        // the full search also harvests automorphisms from best-certificate
+        // matches, the group-only search prunes off-reference subtrees).
+        assert_eq!(
+            StabChain::new(g.n(), &group.generators).order(),
+            StabChain::new(g.n(), &full.generators).order(),
+        );
+        // Generators really are automorphisms.
+        for gen in &group.generators {
+            assert_eq!(g.permuted(gen), g);
+        }
+    }
+}
+
+#[test]
+fn group_only_on_geometric_graphs() {
+    use dvicl_canon::automorphism_group;
+    let g = bench_graphs::ag2(7);
+    let pi = Coloring::unit(g.n());
+    let full = canonical_form(&g, &pi, &Config::bliss_like());
+    let group = automorphism_group(&g, &pi, &Config::bliss_like(), SearchLimits::default())
+        .expect("no limits");
+    assert_eq!(
+        StabChain::new(g.n(), &group.generators).order(),
+        StabChain::new(g.n(), &full.generators).order(),
+    );
+    // Orbits agree with the full search's.
+    let mut a = group.orbits;
+    let mut b = full.orbits;
+    assert_eq!(a.cells(), b.cells());
+}

@@ -1,0 +1,255 @@
+//! `dvicl` — command-line interface to the DviCL canonical labeling
+//! library.
+//!
+//! ```text
+//! dvicl canon  <GRAPH>              certificate digest + canonical labeling
+//! dvicl aut    <GRAPH>              |Aut(G)|, orbits, generators
+//! dvicl iso    <GRAPH> <GRAPH>      isomorphism test (+ explicit mapping)
+//! dvicl tree   <GRAPH> [--render]   AutoTree statistics (and the tree)
+//! dvicl ssm    <GRAPH> <v,v,...>    symmetric images of a vertex set
+//! dvicl ksym   <GRAPH> <k>          k-symmetric extension (edge list out)
+//! dvicl quotient <GRAPH>            symmetry quotient + structure entropy
+//! dvicl dataset <NAME>              emit a suite dataset as an edge list
+//! dvicl convert <GRAPH>             edge list <-> graph6
+//! ```
+//!
+//! `<GRAPH>` is an edge-list file path, `-` for stdin, or `g6:<string>`
+//! for an inline graph6 literal.
+
+use dvicl_core::ssm::{count_images, enumerate_images, SsmIndex};
+use dvicl_core::{aut, build_autotree, iso, ksym, DviclOptions};
+use dvicl_graph::{graph6, io as gio, Coloring, Graph, V};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  dvicl canon    <GRAPH>\n  dvicl aut      <GRAPH>\n  dvicl iso      <GRAPH> <GRAPH>\n  dvicl tree     <GRAPH> [--render]\n  dvicl ssm      <GRAPH> <v,v,...> [--limit N]\n  dvicl ksym     <GRAPH> <k>\n  dvicl quotient <GRAPH>\n  dvicl dataset  <NAME>\n  dvicl convert  <GRAPH>\n\nGRAPH: edge-list path, '-' for stdin, or g6:<graph6-literal>"
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "canon" => canon(arg(args, 1)?),
+        "aut" => automorphisms(arg(args, 1)?),
+        "iso" => isomorphic(arg(args, 1)?, arg(args, 2)?),
+        "tree" => tree(arg(args, 1)?, args.iter().any(|a| a == "--render")),
+        "ssm" => ssm(arg(args, 1)?, arg(args, 2)?, flag_value(args, "--limit")),
+        "ksym" => ksym_cmd(arg(args, 1)?, arg(args, 2)?),
+        "quotient" => quotient_cmd(arg(args, 1)?),
+        "dataset" => dataset(arg(args, 1)?),
+        "convert" => convert(arg(args, 1)?),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn arg(args: &[String], i: usize) -> Result<&str, String> {
+    args.get(i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing argument #{i}"))
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn load(spec: &str) -> Result<Graph, String> {
+    if let Some(g6) = spec.strip_prefix("g6:") {
+        return graph6::from_graph6(g6).map_err(|e| e.to_string());
+    }
+    if spec == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
+        return load_text(&buf);
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+    load_text(&text)
+}
+
+fn load_text(text: &str) -> Result<Graph, String> {
+    // Heuristic: a single token without whitespace separators on the first
+    // non-comment line is graph6; otherwise an edge list.
+    let first = text
+        .lines()
+        .find(|l| !l.trim().is_empty() && !l.starts_with('#') && !l.starts_with('%'));
+    match first {
+        Some(line) if !line.trim().contains(char::is_whitespace) => {
+            graph6::from_graph6(line.trim()).map_err(|e| e.to_string())
+        }
+        _ => gio::read_edge_list(text.as_bytes())
+            .map(|l| l.graph)
+            .map_err(|e| e.to_string()),
+    }
+}
+
+fn build(g: &Graph) -> dvicl_core::AutoTree {
+    // traces-like leaves: the robust configuration on regular graphs.
+    let opts = DviclOptions {
+        leaf_config: dvicl_canon::Config::traces_like(),
+        ..DviclOptions::default()
+    };
+    build_autotree(g, &Coloring::unit(g.n()), &opts)
+}
+
+fn canon(spec: &str) -> Result<(), String> {
+    let g = load(spec)?;
+    let tree = build(&g);
+    let labeling = tree.canonical_labeling();
+    let canonical = g.permuted(&labeling);
+    println!("n: {}  m: {}", g.n(), g.m());
+    println!("certificate (canonical graph6): {}", graph6::to_graph6(&canonical));
+    println!("canonical labeling: {labeling}");
+    Ok(())
+}
+
+fn automorphisms(spec: &str) -> Result<(), String> {
+    let g = load(spec)?;
+    let tree = build(&g);
+    println!("|Aut(G)| = {}", aut::group_order(&tree));
+    let mut orbits = aut::orbits(&tree);
+    println!(
+        "orbits: {} ({} singletons)",
+        orbits.count(),
+        orbits.count_singletons()
+    );
+    let gens = aut::generators(&tree);
+    println!("generators ({}):", gens.len());
+    for gen in gens.iter().take(50) {
+        println!("  {gen}");
+    }
+    if gens.len() > 50 {
+        println!("  ... {} more", gens.len() - 50);
+    }
+    Ok(())
+}
+
+fn isomorphic(a: &str, b: &str) -> Result<(), String> {
+    let (ga, gb) = (load(a)?, load(b)?);
+    match iso::find_isomorphism(&ga, &gb) {
+        Some(gamma) => {
+            println!("isomorphic: yes");
+            println!("mapping: {gamma}");
+            Ok(())
+        }
+        None => {
+            println!("isomorphic: no");
+            Ok(())
+        }
+    }
+}
+
+fn tree(spec: &str, render: bool) -> Result<(), String> {
+    let g = load(spec)?;
+    let t = build(&g);
+    let s = t.stats();
+    println!(
+        "nodes: {}  singleton leaves: {}  non-singleton leaves: {} (avg size {:.2}, max {})  depth: {}",
+        s.total_nodes,
+        s.singleton_leaves,
+        s.non_singleton_leaves,
+        s.avg_non_singleton_size,
+        s.max_non_singleton_size,
+        s.depth
+    );
+    if render {
+        print!("{}", t.render());
+    }
+    Ok(())
+}
+
+fn ssm(spec: &str, set: &str, limit: Option<usize>) -> Result<(), String> {
+    let g = load(spec)?;
+    let set: Vec<V> = set
+        .split(',')
+        .map(|t| t.trim().parse::<V>().map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let tree = build(&g);
+    let index = SsmIndex::new(&tree);
+    println!("images under Aut(G): {}", count_images(&tree, &index, &set).to_scientific());
+    let limit = limit.unwrap_or(20);
+    let res = enumerate_images(&tree, &index, &set, limit);
+    println!(
+        "first {} matches{}:",
+        res.matches.len(),
+        if res.complete { " (complete)" } else { "" }
+    );
+    for m in &res.matches {
+        println!("  {m:?}");
+    }
+    Ok(())
+}
+
+fn ksym_cmd(spec: &str, k: &str) -> Result<(), String> {
+    let g = load(spec)?;
+    let k: usize = k.parse().map_err(|_| "k must be a positive integer")?;
+    let tree = build(&g);
+    let (g2, stats) = ksym::k_symmetric_extension(&g, &tree, k);
+    eprintln!(
+        "k={k}: +{} vertices, +{} edges ({} classes duplicated)",
+        stats.added_vertices, stats.added_edges, stats.duplicated_classes
+    );
+    gio::write_edge_list(std::io::stdout(), &g2).map_err(|e| e.to_string())
+}
+
+fn quotient_cmd(spec: &str) -> Result<(), String> {
+    let g = load(spec)?;
+    let tree = build(&g);
+    let q = dvicl_apps::quotient::quotient(&g, &tree);
+    let e = dvicl_apps::quotient::structure_entropy(&g, &tree);
+    println!(
+        "G: n = {}, m = {}   quotient: n = {}, m = {}   entropy = {e:.4}",
+        g.n(),
+        g.m(),
+        q.graph.n(),
+        q.graph.m()
+    );
+    Ok(())
+}
+
+fn dataset(name: &str) -> Result<(), String> {
+    let all = dvicl_data::social_suite()
+        .into_iter()
+        .chain(dvicl_data::benchmark_suite());
+    for d in all {
+        if d.name.eq_ignore_ascii_case(name) {
+            let g = (d.build)();
+            return gio::write_edge_list(std::io::stdout(), &g).map_err(|e| e.to_string());
+        }
+    }
+    Err(format!(
+        "unknown dataset `{name}`; known: {}",
+        dvicl_data::social_suite()
+            .iter()
+            .chain(dvicl_data::benchmark_suite().iter())
+            .map(|d| d.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ))
+}
+
+fn convert(spec: &str) -> Result<(), String> {
+    let g = load(spec)?;
+    if spec.starts_with("g6:") {
+        gio::write_edge_list(std::io::stdout(), &g).map_err(|e| e.to_string())
+    } else {
+        println!("{}", graph6::to_graph6(&g));
+        Ok(())
+    }
+}

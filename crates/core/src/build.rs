@@ -1,0 +1,447 @@
+//! `DviCL` (Algorithm 1): building the AutoTree by divide-and-conquer, and
+//! the combine steps `CombineCL` (Algorithm 4) and `CombineST`
+//! (Algorithm 5).
+
+use crate::sub::Sub;
+use crate::tree::{AutoTree, Node, NodeId, NodeKind};
+use dvicl_canon::{try_canonical_form as ir_try_canonical_form, Config, LimitExceeded, SearchLimits};
+use dvicl_graph::{CanonForm, Coloring, Graph, V};
+use dvicl_refine::refine;
+use rustc_hash::FxHashMap;
+
+/// Options for the DviCL run.
+#[derive(Clone, Debug)]
+pub struct DviclOptions {
+    /// The IR engine configuration used for non-singleton leaves — the `X`
+    /// of the paper's `DviCL+X` (bliss-like, nauty-like or traces-like).
+    pub leaf_config: Config,
+    /// Apply `DivideS` (clique / complete-bipartite edge removal). Turning
+    /// this off is the ablation benchmarked in `dvicl-bench`.
+    pub use_divide_s: bool,
+    /// Resource budget for each leaf-labeler invocation (benchmark graphs
+    /// can be a single huge leaf). Unlimited by default.
+    pub leaf_limits: SearchLimits,
+}
+
+impl Default for DviclOptions {
+    fn default() -> Self {
+        DviclOptions {
+            leaf_config: Config::bliss_like(),
+            use_divide_s: true,
+            leaf_limits: SearchLimits::default(),
+        }
+    }
+}
+
+/// Runs `DviCL` on the colored graph `(g, pi0)` and returns the AutoTree.
+///
+/// The input coloring is first refined to an equitable coloring by the
+/// refinement function `R` (Algorithm 1, lines 1–2); every subgraph in the
+/// recursion then uses the *projection* of that single coloring
+/// (Theorem 6.1 shows projections stay equitable and orbit-compatible).
+///
+/// ```
+/// use dvicl_graph::{named, Coloring};
+/// use dvicl_core::{aut, build_autotree, DviclOptions};
+/// // The paper's Fig. 1(a)/Fig. 4 example: 7 tree nodes, |Aut| = 48.
+/// let g = named::fig1_example();
+/// let tree = build_autotree(&g, &Coloring::unit(8), &DviclOptions::default());
+/// assert_eq!(tree.stats().total_nodes, 7);
+/// assert_eq!(aut::group_order(&tree).to_u64(), Some(48));
+/// ```
+pub fn build_autotree(g: &Graph, pi0: &Coloring, opts: &DviclOptions) -> AutoTree {
+    try_build_autotree(g, pi0, opts).expect("an unlimited build cannot exceed its budget")
+}
+
+/// Fallible variant of [`build_autotree`]: aborts with [`LimitExceeded`]
+/// when a leaf-labeler invocation blows `opts.leaf_limits`.
+pub fn try_build_autotree(
+    g: &Graph,
+    pi0: &Coloring,
+    opts: &DviclOptions,
+) -> Result<AutoTree, LimitExceeded> {
+    assert_eq!(g.n(), pi0.n(), "graph/coloring size mismatch");
+    let pi = refine(g, pi0).coloring;
+    let mut b = Builder {
+        pi: pi.clone(),
+        opts,
+        nodes: Vec::new(),
+    };
+    if g.n() == 0 {
+        return Ok(AutoTree {
+            pi,
+            nodes: vec![Node {
+                verts: Vec::new(),
+                labels: Vec::new(),
+                form: CanonForm {
+                    colors: Vec::new(),
+                    edges: Vec::new(),
+                },
+                children: Vec::new(),
+                sibling_classes: Vec::new(),
+                kind: NodeKind::NonSingletonLeaf,
+                depth: 0,
+                parent: None,
+                leaf_generators: Vec::new(),
+            }],
+            root: 0,
+        });
+    }
+    let root = b.build(Sub::whole(g), 0, None)?;
+    Ok(AutoTree {
+        pi: b.pi,
+        nodes: b.nodes,
+        root,
+    })
+}
+
+struct Builder<'a> {
+    pi: Coloring,
+    opts: &'a DviclOptions,
+    nodes: Vec<Node>,
+}
+
+impl<'a> Builder<'a> {
+    /// Procedure `cl` of Algorithm 1.
+    fn build(
+        &mut self,
+        sub: Sub,
+        depth: u32,
+        parent: Option<NodeId>,
+    ) -> Result<NodeId, LimitExceeded> {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            verts: sub.verts.clone(),
+            labels: Vec::new(),
+            form: CanonForm {
+                colors: Vec::new(),
+                edges: Vec::new(),
+            },
+            children: Vec::new(),
+            sibling_classes: Vec::new(),
+            kind: NodeKind::Internal,
+            depth,
+            parent,
+            leaf_generators: Vec::new(),
+        });
+
+        // Base case: a one-vertex subgraph (Algorithm 1 lines 7–8).
+        if sub.n() == 1 {
+            let color = self.pi.color_of(sub.verts[0]);
+            let node = &mut self.nodes[id];
+            node.kind = NodeKind::SingletonLeaf;
+            node.labels = vec![color];
+            node.form = CanonForm::singleton(color);
+            return Ok(id);
+        }
+
+        // Divide phase: components (trivial divide), then DivideI, then
+        // DivideS (Algorithm 1 lines 11–12).
+        let division = sub
+            .divide_components()
+            .or_else(|| sub.divide_i(&self.pi))
+            .or_else(|| {
+                if self.opts.use_divide_s {
+                    sub.divide_s(&self.pi)
+                } else {
+                    None
+                }
+            });
+
+        match division {
+            None => self.combine_cl(id, &sub)?,
+            Some(d) => {
+                let children: Vec<NodeId> = d
+                    .parts
+                    .iter()
+                    .map(|part| self.build(sub.induced_child(part), depth + 1, Some(id)))
+                    .collect::<Result<_, _>>()?;
+                self.combine_st(id, &sub, children);
+            }
+        }
+        Ok(id)
+    }
+
+    /// `CombineCL` (Algorithm 4): label a non-singleton leaf with the IR
+    /// engine, then re-rank the vertices of each (global) cell by the IR
+    /// order so symmetric leaves elsewhere in the tree get equal labels
+    /// (Lemma 6.7).
+    fn combine_cl(&mut self, id: NodeId, sub: &Sub) -> Result<(), LimitExceeded> {
+        let (local_g, local_pi) = sub.to_local_graph(&self.pi);
+        let res = ir_try_canonical_form(
+            &local_g,
+            &local_pi,
+            &self.opts.leaf_config,
+            self.opts.leaf_limits,
+        )?;
+        let mut labels = vec![0 as V; sub.n()];
+        for cell in sub.cells(&self.pi) {
+            let mut members = cell.members.clone();
+            members.sort_unstable_by_key(|&i| res.labeling.apply(i));
+            for (rank, &i) in members.iter().enumerate() {
+                labels[i as usize] = cell.color + rank as V;
+            }
+        }
+        let colors: Vec<V> = sub.verts.iter().map(|&v| self.pi.color_of(v)).collect();
+        let form = CanonForm::new(&local_g, &colors, &labels);
+        let leaf_generators = res
+            .generators
+            .iter()
+            .map(|gen| {
+                (0..sub.n() as u32)
+                    .filter(|&i| gen.apply(i) != i)
+                    .map(|i| (sub.verts[i as usize], sub.verts[gen.apply(i) as usize]))
+                    .collect()
+            })
+            .collect();
+        let node = &mut self.nodes[id];
+        node.kind = NodeKind::NonSingletonLeaf;
+        node.labels = labels;
+        node.form = form;
+        node.leaf_generators = leaf_generators;
+        Ok(())
+    }
+
+    /// `CombineST` (Algorithm 5): sort children by certificate; order the
+    /// vertices of each (global) cell by (child position, child label);
+    /// the rank within the cell gives `γ_g(v) = π(v) + rank`.
+    fn combine_st(&mut self, id: NodeId, sub: &Sub, mut children: Vec<NodeId>) {
+        // Line 1: non-descending certificate order.
+        children.sort_by(|&a, &b| self.nodes[a].form.cmp(&self.nodes[b].form));
+        // Runs of equal certificates = classes of symmetric siblings.
+        let mut sibling_classes: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0;
+        for i in 1..=children.len() {
+            if i == children.len()
+                || self.nodes[children[i]].form != self.nodes[children[start]].form
+            {
+                sibling_classes.push((start, i));
+                start = i;
+            }
+        }
+        // (child position, in-child label) per global vertex.
+        let mut key: FxHashMap<V, (u32, V)> = FxHashMap::default();
+        for (pos, &c) in children.iter().enumerate() {
+            let child = &self.nodes[c];
+            for (i, &v) in child.verts.iter().enumerate() {
+                key.insert(v, (pos as u32, child.labels[i]));
+            }
+        }
+        // Lines 2–5: rank within each cell of π_g.
+        let mut labels = vec![0 as V; sub.n()];
+        for cell in sub.cells(&self.pi) {
+            let mut members = cell.members.clone();
+            members.sort_unstable_by_key(|&i| key[&sub.verts[i as usize]]);
+            for (rank, &i) in members.iter().enumerate() {
+                labels[i as usize] = cell.color + rank as V;
+            }
+        }
+        // Line 6: C(g, π_g) = (g, π_g)^{γ_g} over the *induced* subgraph
+        // (including any edges the divide rules deleted).
+        let (local_g, _) = sub.to_local_graph(&self.pi);
+        let colors: Vec<V> = sub.verts.iter().map(|&v| self.pi.color_of(v)).collect();
+        let form = CanonForm::new(&local_g, &colors, &labels);
+        let node = &mut self.nodes[id];
+        node.kind = NodeKind::Internal;
+        node.children = children;
+        node.sibling_classes = sibling_classes;
+        node.labels = labels;
+        node.form = form;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeKind;
+    use dvicl_graph::{named, Perm};
+
+    fn tree_of(g: &Graph) -> AutoTree {
+        build_autotree(g, &Coloring::unit(g.n()), &DviclOptions::default())
+    }
+
+    fn pseudo_random_perm(n: usize, salt: u64) -> Perm {
+        let mut image: Vec<V> = (0..n as V).collect();
+        let mut state = 0x9e3779b97f4a7c15u64 ^ salt ^ (n as u64) << 32;
+        for i in (1..n).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            image.swap(i, j);
+        }
+        Perm::from_image(image).expect("shuffle is a bijection")
+    }
+
+    #[test]
+    fn fig1_autotree_matches_paper_fig4() {
+        // Fig. 4: the hub 7 is the axis; children are {7}, the 4-cycle
+        // {0,1,2,3} (a non-singleton leaf, labeled by the IR engine), and
+        // the triangle {4,5,6} (divided further into three singletons).
+        let g = named::fig1_example();
+        let t = tree_of(&g);
+        let stats = t.stats();
+        assert_eq!(stats.total_nodes, 7);
+        assert_eq!(stats.singleton_leaves, 4);
+        assert_eq!(stats.non_singleton_leaves, 1);
+        assert_eq!(stats.avg_non_singleton_size, 4.0);
+        assert_eq!(stats.depth, 2);
+        // The triangle's three singleton children are one sibling class.
+        let tri = t.deepest_containing(&[4, 5, 6]);
+        assert_eq!(t.node(tri).children.len(), 3);
+        assert_eq!(t.node(tri).sibling_classes, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn root_labels_are_a_permutation() {
+        for g in [
+            named::fig1_example(),
+            named::petersen(),
+            named::rary_tree(2, 3),
+            named::complete(5),
+        ] {
+            let t = tree_of(&g);
+            let perm = t.canonical_labeling();
+            assert_eq!(perm.len(), g.n());
+        }
+    }
+
+    #[test]
+    fn certificate_invariant_under_relabeling() {
+        for (salt, g) in [
+            named::fig1_example(),
+            named::fig3_example(),
+            named::petersen(),
+            named::hypercube(3),
+            named::rary_tree(3, 2),
+            named::complete_bipartite(3, 4),
+            named::star(6),
+            named::frucht(),
+            named::cycle(9),
+            named::path(7),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let n = g.n();
+            let t1 = tree_of(&g);
+            for round in 0..3u64 {
+                let gamma = pseudo_random_perm(n, salt as u64 * 17 + round);
+                let t2 = tree_of(&g.permuted(&gamma));
+                assert_eq!(
+                    t1.canonical_form(),
+                    t2.canonical_form(),
+                    "salt {salt} round {round}"
+                );
+                // Theorem 6.6: isomorphic graphs get identical tree shapes.
+                assert_eq!(t1.stats(), t2.stats());
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_separates_non_isomorphic() {
+        let pairs = [
+            (named::cycle(6), named::cycle(3).disjoint_union(&named::cycle(3))),
+            (
+                named::complete_bipartite(3, 3),
+                Graph::from_edges(
+                    6,
+                    &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)],
+                ),
+            ),
+            (named::path(5), named::star(4)),
+        ];
+        for (a, b) in pairs {
+            assert_ne!(tree_of(&a).canonical_form(), tree_of(&b).canonical_form());
+        }
+    }
+
+    #[test]
+    fn labeling_produces_the_certificate() {
+        for g in [named::fig1_example(), named::rary_tree(2, 3), named::petersen()] {
+            let t = tree_of(&g);
+            let perm = t.canonical_labeling();
+            let direct = CanonForm::new(&g, t.pi.colors(), perm.as_slice());
+            assert_eq!(&direct, t.canonical_form());
+        }
+    }
+
+    #[test]
+    fn regular_graph_is_one_leaf() {
+        // Petersen: unit equitable coloring, no divide applies — the tree
+        // is a single non-singleton leaf (the benchmark-graph situation of
+        // Table 4).
+        let t = tree_of(&named::petersen());
+        let s = t.stats();
+        assert_eq!(s.total_nodes, 1);
+        assert_eq!(s.non_singleton_leaves, 1);
+        assert_eq!(s.depth, 0);
+        assert_eq!(t.node(t.root()).kind, NodeKind::NonSingletonLeaf);
+    }
+
+    #[test]
+    fn balanced_tree_divides_fully() {
+        // A balanced binary tree divides into singletons only: no IR calls.
+        let t = tree_of(&named::rary_tree(2, 3));
+        let s = t.stats();
+        assert_eq!(s.non_singleton_leaves, 0);
+        assert_eq!(s.singleton_leaves, 15);
+    }
+
+    #[test]
+    fn divide_s_ablation_still_correct() {
+        let opts = DviclOptions {
+            use_divide_s: false,
+            ..DviclOptions::default()
+        };
+        let g = named::fig1_example();
+        let t1 = build_autotree(&g, &Coloring::unit(8), &opts);
+        let gamma = pseudo_random_perm(8, 99);
+        let t2 = build_autotree(&g.permuted(&gamma), &Coloring::unit(8), &opts);
+        assert_eq!(t1.canonical_form(), t2.canonical_form());
+        // Without DivideS the triangle stays a non-singleton leaf.
+        assert!(t1.stats().non_singleton_leaves >= 1);
+    }
+
+    #[test]
+    fn respects_initial_colors() {
+        // Two 3-cycles: with unit coloring they are symmetric; coloring one
+        // cycle differently must break the symmetry (different
+        // certificates).
+        let g = named::cycle(3).disjoint_union(&named::cycle(3));
+        let unit = Coloring::unit(6);
+        let split = Coloring::from_cells(vec![vec![0, 1, 2], vec![3, 4, 5]]).unwrap();
+        let t_unit = build_autotree(&g, &unit, &DviclOptions::default());
+        let t_split = build_autotree(&g, &split, &DviclOptions::default());
+        assert_ne!(t_unit.canonical_form(), t_split.canonical_form());
+        // And the two cycles are one sibling class only under unit colors.
+        assert_eq!(t_unit.node(t_unit.root()).sibling_classes.len(), 1);
+        assert_eq!(t_split.node(t_split.root()).sibling_classes.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_graphs_work() {
+        let g = named::petersen().disjoint_union(&named::petersen());
+        let t = tree_of(&g);
+        assert_eq!(t.node(t.root()).children.len(), 2);
+        assert_eq!(t.node(t.root()).sibling_classes, vec![(0, 2)]);
+        let gamma = pseudo_random_perm(20, 5);
+        let t2 = tree_of(&g.permuted(&gamma));
+        assert_eq!(t.canonical_form(), t2.canonical_form());
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let t0 = tree_of(&Graph::empty(0));
+        assert_eq!(t0.len(), 1);
+        let t1 = tree_of(&Graph::empty(1));
+        assert_eq!(t1.stats().singleton_leaves, 1);
+        let t2 = tree_of(&Graph::empty(3));
+        // Three isolated same-color vertices: one class of three singleton
+        // children.
+        assert_eq!(t2.node(t2.root()).sibling_classes, vec![(0, 3)]);
+        let k2 = tree_of(&named::complete(2));
+        assert_eq!(k2.stats().singleton_leaves, 2);
+    }
+}

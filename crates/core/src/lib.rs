@@ -1,0 +1,61 @@
+//! `dvicl-core` — the paper's primary contribution.
+//!
+//! This crate implements **DviCL**, the divide-and-conquer canonical
+//! labeling algorithm of *"Graph Iso/Auto-morphism: A Divide-&-Conquer
+//! Approach"* (SIGMOD 2021), together with the **AutoTree** index it
+//! constructs and everything the paper builds on top of it:
+//!
+//! * [`build_autotree`] — Algorithm 1 (`DviCL`) with `DivideI`/`DivideS`
+//!   (Algorithms 2–3) and `CombineCL`/`CombineST` (Algorithms 4–5).
+//! * [`AutoTree`] — the tree index: canonical form, canonical labeling,
+//!   sibling classes of symmetric subgraphs, structural statistics.
+//! * [`aut`] — the automorphism group from the tree: generators, orbits,
+//!   exact group order.
+//! * [`ssm`] — symmetric subgraph matching (`SSM-AT`, Algorithm 6),
+//!   symmetric-set keys, and exact counting of symmetric images.
+//! * [`sm`] — a VF2-style induced subgraph matcher (the `SM` subroutine
+//!   and the paper's SSM baseline).
+//! * [`simplify`] — the structural-equivalence optimization of §6.1.
+//! * [`iso`] — explicit isomorphism-mapping extraction between graphs.
+//! * [`ksym`] — the k-symmetry anonymization application.
+//! * convenience wrappers: [`canonical_form`], [`are_isomorphic`].
+
+#![warn(missing_docs)]
+
+pub mod aut;
+mod build;
+pub mod iso;
+pub mod ksym;
+pub mod simplify;
+pub mod sm;
+pub mod ssm;
+mod sub;
+mod tree;
+
+pub use build::{build_autotree, try_build_autotree, DviclOptions};
+pub use sub::{Division, Sub, SubCell};
+pub use tree::{AutoTree, Node, NodeId, NodeKind, TreeStats};
+
+use dvicl_graph::{CanonForm, Coloring, Graph};
+
+/// Canonically labels `g` (unit coloring, default options) and returns the
+/// certificate.
+pub fn canonical_form(g: &Graph) -> CanonForm {
+    build_autotree(g, &Coloring::unit(g.n()), &DviclOptions::default())
+        .canonical_form()
+        .clone()
+}
+
+/// True iff the two graphs are isomorphic (unit colorings).
+pub fn are_isomorphic(g1: &Graph, g2: &Graph) -> bool {
+    g1.n() == g2.n() && g1.m() == g2.m() && canonical_form(g1) == canonical_form(g2)
+}
+
+/// True iff the two *colored* graphs are isomorphic.
+pub fn are_isomorphic_colored(g1: &Graph, pi1: &Coloring, g2: &Graph, pi2: &Coloring) -> bool {
+    let opts = DviclOptions::default();
+    g1.n() == g2.n()
+        && g1.m() == g2.m()
+        && build_autotree(g1, pi1, &opts).canonical_form()
+            == build_autotree(g2, pi2, &opts).canonical_form()
+}

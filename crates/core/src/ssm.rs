@@ -1,0 +1,771 @@
+//! Symmetric subgraph matching over the AutoTree (`SSM-AT`, Algorithm 6),
+//! plus the two primitives the paper's application studies are built on:
+//!
+//! * [`symmetric_key`] — a canonical key for a vertex set `S` such that two
+//!   sets have equal keys **iff** some automorphism of `(G, π)` maps one
+//!   onto the other (the clustering key of Table 7).
+//! * [`count_images`] — the exact number of distinct images of `S` under
+//!   `Aut(G, π)` (the seed-set counts of Table 6), as a [`BigUint`] because
+//!   real counts reach `10^88`.
+//! * [`enumerate_images`] — the actual matches (Algorithm 6), with a result
+//!   budget since counts are often astronomically large.
+//!
+//! All three walk the same recursion: a set is partitioned over a node's
+//! children; within a sibling class the per-child *patterns* (recursive
+//! keys) may be assigned to any distinct children of the class, because
+//! `Aut(g)` restricted to a class is the full wreath product
+//! `Aut(child) ≀ S_k` (see `crate::aut`).
+
+use crate::tree::{AutoTree, NodeId, NodeKind};
+use dvicl_canon::{canonical_form as ir_canonical_form, Config};
+use dvicl_graph::{Coloring, V};
+use dvicl_group::BigUint;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// One pattern instance inside a sibling class: canonical key plus the
+/// (child position, child node, vertex subset) it came from.
+type KeyedInstance<'a> = (Vec<u8>, &'a (u32, NodeId, Vec<V>));
+
+/// Precomputed navigation over an AutoTree: vertex → leaf, child → position
+/// in parent. Build once, share across many SSM queries.
+pub struct SsmIndex {
+    leaf_of: Vec<NodeId>,
+    pos_in_parent: Vec<u32>,
+}
+
+impl SsmIndex {
+    /// Builds the index for `tree`.
+    pub fn new(tree: &AutoTree) -> Self {
+        let n = tree.pi.n();
+        let mut leaf_of = vec![usize::MAX; n];
+        let mut pos_in_parent = vec![0u32; tree.len()];
+        for (id, node) in tree.nodes().iter().enumerate() {
+            for (pos, &c) in node.children.iter().enumerate() {
+                pos_in_parent[c] = pos as u32;
+            }
+            if node.children.is_empty() {
+                for &v in &node.verts {
+                    leaf_of[v as usize] = id;
+                }
+            }
+        }
+        SsmIndex {
+            leaf_of,
+            pos_in_parent,
+        }
+    }
+
+    /// The child of `node` whose subtree contains `v` (`v` must be in the
+    /// node's subgraph but `node` must not be `v`'s leaf).
+    fn child_under(&self, tree: &AutoTree, node: NodeId, v: V) -> NodeId {
+        let mut cur = self.leaf_of[v as usize];
+        loop {
+            let parent = tree.node(cur).parent.expect("v lies under node");
+            if parent == node {
+                return cur;
+            }
+            cur = parent;
+        }
+    }
+
+    /// Partitions `set` among the children of `node`; returns
+    /// `(child position, child id, subset)` sorted by position.
+    fn partition(&self, tree: &AutoTree, node: NodeId, set: &[V]) -> Vec<(u32, NodeId, Vec<V>)> {
+        let mut by_child: FxHashMap<NodeId, Vec<V>> = FxHashMap::default();
+        for &v in set {
+            let c = self.child_under(tree, node, v);
+            by_child.entry(c).or_default().push(v);
+        }
+        let mut out: Vec<(u32, NodeId, Vec<V>)> = by_child
+            .into_iter()
+            .map(|(c, mut vs)| {
+                vs.sort_unstable();
+                (self.pos_in_parent[c], c, vs)
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+fn validate_set(tree: &AutoTree, set: &[V]) -> Vec<V> {
+    assert!(!set.is_empty(), "SSM queries need a non-empty vertex set");
+    let n = tree.pi.n();
+    let mut s: Vec<V> = set.to_vec();
+    s.sort_unstable();
+    s.dedup();
+    assert!(
+        s.iter().all(|&v| (v as usize) < n),
+        "vertex out of range in SSM query"
+    );
+    s
+}
+
+// ---------------------------------------------------------------------
+// Keys and counts (one recursion computes both).
+// ---------------------------------------------------------------------
+
+fn push_u32(buf: &mut Vec<u8>, x: u32) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Canonical key of `set` under `Aut(G, π)`: equal keys ⇔ symmetric sets.
+pub fn symmetric_key(tree: &AutoTree, index: &SsmIndex, set: &[V]) -> Vec<u8> {
+    let set = validate_set(tree, set);
+    analyze(tree, index, tree.root(), &set).0
+}
+
+/// Exact number of distinct images of `set` under `Aut(G, π)` (including
+/// `set` itself).
+///
+/// ```
+/// use dvicl_graph::{named, Coloring};
+/// use dvicl_core::{build_autotree, DviclOptions};
+/// use dvicl_core::ssm::{count_images, SsmIndex};
+/// // A pair of star leaves has C(5, 2) = 10 symmetric images.
+/// let g = named::star(5);
+/// let tree = build_autotree(&g, &Coloring::unit(6), &DviclOptions::default());
+/// let index = SsmIndex::new(&tree);
+/// assert_eq!(count_images(&tree, &index, &[1, 2]).to_u64(), Some(10));
+/// ```
+pub fn count_images(tree: &AutoTree, index: &SsmIndex, set: &[V]) -> BigUint {
+    let set = validate_set(tree, set);
+    analyze(tree, index, tree.root(), &set).1
+}
+
+/// True iff some automorphism maps `a` onto `b` (as sets).
+pub fn same_symmetry(tree: &AutoTree, index: &SsmIndex, a: &[V], b: &[V]) -> bool {
+    let a = validate_set(tree, a);
+    let b = validate_set(tree, b);
+    a.len() == b.len() && (a == b || symmetric_key(tree, index, &a) == symmetric_key(tree, index, &b))
+}
+
+/// Recursive analysis: (canonical pattern key, image count) of `set` within
+/// the subgraph of `node`. `set` is sorted and entirely inside the node.
+fn analyze(tree: &AutoTree, index: &SsmIndex, node: NodeId, set: &[V]) -> (Vec<u8>, BigUint) {
+    let n = tree.node(node);
+    match n.kind {
+        NodeKind::SingletonLeaf => (vec![0x01], BigUint::one()),
+        NodeKind::NonSingletonLeaf => analyze_leaf(tree, node, set),
+        NodeKind::Internal => {
+            let parts = index.partition(tree, node, set);
+            let mut key = Vec::new();
+            let mut count = BigUint::one();
+            // Per-child analysis, then grouped per sibling class.
+            let analyzed: Vec<(u32, Vec<u8>, BigUint)> = parts
+                .into_iter()
+                .map(|(pos, child, subset)| {
+                    let (k, c) = analyze(tree, index, child, &subset);
+                    (pos, k, c)
+                })
+                .collect();
+            for (class_idx, &(start, end)) in n.sibling_classes.iter().enumerate() {
+                let in_class: Vec<&(u32, Vec<u8>, BigUint)> = analyzed
+                    .iter()
+                    .filter(|&&(pos, _, _)| start <= pos as usize && (pos as usize) < end)
+                    .collect();
+                if in_class.is_empty() {
+                    continue;
+                }
+                let c = (end - start) as u64; // class size
+                let t = in_class.len() as u64; // occupied children
+                // Sort the pattern keys; runs of equal keys are
+                // interchangeable assignments.
+                let mut keys: Vec<&Vec<u8>> = in_class.iter().map(|x| &x.1).collect();
+                keys.sort();
+                // Key contribution.
+                push_u32(&mut key, 0xA5A5_0000 | class_idx as u32);
+                push_u32(&mut key, t as u32);
+                for k in &keys {
+                    push_u32(&mut key, k.len() as u32);
+                    key.extend_from_slice(k);
+                }
+                // Count contribution: assignments × within-child images.
+                // #assignments = C(c, k_1)·C(c-k_1, k_2)·…, over runs k_i.
+                let mut remaining = c;
+                let mut i = 0;
+                while i < keys.len() {
+                    let mut j = i;
+                    while j < keys.len() && keys[j] == keys[i] {
+                        j += 1;
+                    }
+                    let run = (j - i) as u64;
+                    count *= &BigUint::binomial(remaining, run);
+                    remaining -= run;
+                    i = j;
+                }
+                let _ = remaining;
+                for x in &in_class {
+                    count *= &x.2;
+                }
+                let _ = t;
+            }
+            (key, count)
+        }
+    }
+}
+
+/// Pattern analysis inside a non-singleton leaf: canonicalize the leaf's
+/// colored graph with set-membership folded into the colors; count the
+/// orbit of the set under the leaf's automorphism group by BFS.
+fn analyze_leaf(tree: &AutoTree, node: NodeId, set: &[V]) -> (Vec<u8>, BigUint) {
+    let n = tree.node(node);
+    // Local graph + colors with the set distinguished.
+    let verts = &n.verts;
+    let in_set: Vec<bool> = verts
+        .iter()
+        .map(|v| set.binary_search(v).is_ok())
+        .collect();
+    let mut edges = Vec::new();
+    let vmap: FxHashMap<V, u32> = verts
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    // Recover the leaf's induced edges from the original graph structure
+    // stored in the tree: the leaf's certificate has them, relabeled; it is
+    // cheaper to rebuild from labels. `form.edges` are (γ(u), γ(v)); invert
+    // the labels to get local endpoints.
+    let mut label_to_local: FxHashMap<V, u32> = FxHashMap::default();
+    for (i, &l) in n.labels.iter().enumerate() {
+        label_to_local.insert(l, i as u32);
+    }
+    for &(la, lb) in &n.form.edges {
+        edges.push((label_to_local[&la], label_to_local[&lb]));
+    }
+    let g = dvicl_graph::Graph::from_edges(verts.len(), &edges);
+    // Colors: (global color, in-set flag) — from_labels orders cells by
+    // value, so in-set halves follow out-set halves deterministically.
+    let labels: Vec<V> = verts
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| tree.pi.color_of(v) << 1 | in_set[i] as V)
+        .collect();
+    let pi = Coloring::from_labels(&labels);
+    let res = ir_canonical_form(&g, &pi, &Config::bliss_like());
+    let mut key = vec![0x5A];
+    for &(c, m) in &res.form.colors {
+        push_u32(&mut key, c);
+        push_u32(&mut key, m);
+    }
+    for &(a, b) in &res.form.edges {
+        push_u32(&mut key, a);
+        push_u32(&mut key, b);
+    }
+    // Orbit of the set under the leaf group (as local index sets).
+    let local_set: Vec<u32> = set.iter().map(|v| vmap[v]).collect();
+    let gens: Vec<FxHashMap<u32, u32>> = n
+        .leaf_generators
+        .iter()
+        .map(|sparse| {
+            sparse
+                .iter()
+                .map(|&(a, b)| (vmap[&a], vmap[&b]))
+                .collect()
+        })
+        .collect();
+    let count = orbit_of_set(&local_set, &gens, None)
+        .map(|orbit| BigUint::from_u64(orbit.len() as u64))
+        .expect("uncapped orbit enumeration cannot fail");
+    (key, count)
+}
+
+/// BFS over set images under sparse generators; `cap` bounds the orbit size
+/// (None = unbounded). Returns the orbit as sorted sets, or `None` if the
+/// cap was hit.
+fn orbit_of_set(
+    start: &[u32],
+    gens: &[FxHashMap<u32, u32>],
+    cap: Option<usize>,
+) -> Option<Vec<Vec<u32>>> {
+    let mut start = start.to_vec();
+    start.sort_unstable();
+    let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
+    seen.insert(start.clone());
+    let mut queue = vec![start];
+    let mut head = 0;
+    while head < queue.len() {
+        let cur = queue[head].clone();
+        head += 1;
+        for gen in gens {
+            let mut img: Vec<u32> = cur
+                .iter()
+                .map(|v| gen.get(v).copied().unwrap_or(*v))
+                .collect();
+            img.sort_unstable();
+            if seen.insert(img.clone()) {
+                if let Some(c) = cap {
+                    if seen.len() > c {
+                        return None;
+                    }
+                }
+                queue.push(img);
+            }
+        }
+    }
+    Some(queue)
+}
+
+// ---------------------------------------------------------------------
+// Enumeration (SSM-AT, Algorithm 6).
+// ---------------------------------------------------------------------
+
+/// Result of an [`enumerate_images`] run.
+pub struct SsmMatches {
+    /// Distinct images found (each sorted ascending); includes the query.
+    pub matches: Vec<Vec<V>>,
+    /// True iff the enumeration completed within the budget.
+    pub complete: bool,
+}
+
+/// Enumerates the images of `set` under `Aut(G, π)` — the symmetric
+/// subgraphs of Algorithm 6 — up to `limit` results.
+pub fn enumerate_images(
+    tree: &AutoTree,
+    index: &SsmIndex,
+    set: &[V],
+    limit: usize,
+) -> SsmMatches {
+    let set = validate_set(tree, set);
+    let mut budget = limit;
+    let matches = enum_at(tree, index, tree.root(), &set, &mut budget);
+    // The run is complete iff the true image count fits the limit (the
+    // budget accounting inside the recursion is conservative).
+    let complete = match count_images(tree, index, &set).to_u64() {
+        Some(c) => c as usize == matches.len(),
+        None => false,
+    };
+    SsmMatches { matches, complete }
+}
+
+fn enum_at(
+    tree: &AutoTree,
+    index: &SsmIndex,
+    node: NodeId,
+    set: &[V],
+    budget: &mut usize,
+) -> Vec<Vec<V>> {
+    if *budget == 0 {
+        return Vec::new();
+    }
+    let n = tree.node(node);
+    match n.kind {
+        NodeKind::SingletonLeaf => {
+            *budget = budget.saturating_sub(1);
+            vec![set.to_vec()]
+        }
+        NodeKind::NonSingletonLeaf => {
+            let vmap: FxHashMap<V, u32> = n
+                .verts
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect();
+            let local: Vec<u32> = set.iter().map(|v| vmap[v]).collect();
+            let gens: Vec<FxHashMap<u32, u32>> = n
+                .leaf_generators
+                .iter()
+                .map(|s| s.iter().map(|&(a, b)| (vmap[&a], vmap[&b])).collect())
+                .collect();
+            let orbit = orbit_of_set(&local, &gens, Some(*budget))
+                .unwrap_or_default();
+            let out: Vec<Vec<V>> = orbit
+                .into_iter()
+                .take(*budget)
+                .map(|s| {
+                    let mut g: Vec<V> = s.iter().map(|&i| n.verts[i as usize]).collect();
+                    g.sort_unstable();
+                    g
+                })
+                .collect();
+            *budget = budget.saturating_sub(out.len());
+            out
+        }
+        NodeKind::Internal => {
+            let parts = index.partition(tree, node, set);
+            // Per class: the list of vertex-set options the class can
+            // contribute (one per combined assignment + image choice).
+            let mut per_class_options: Vec<Vec<Vec<V>>> = Vec::new();
+            for &(start, end) in &n.sibling_classes {
+                let instances: Vec<&(u32, NodeId, Vec<V>)> = parts
+                    .iter()
+                    .filter(|&&(pos, _, _)| start <= pos as usize && (pos as usize) < end)
+                    .collect();
+                if instances.is_empty() {
+                    continue;
+                }
+                // Images of each instance inside its own child, then
+                // transferred to every child of the class.
+                // Group instances by key to avoid duplicate assignments.
+                let mut keyed: Vec<KeyedInstance> = instances
+                    .iter()
+                    .map(|inst| (analyze(tree, index, inst.1, &inst.2).0, *inst))
+                    .collect();
+                keyed.sort_by(|a, b| a.0.cmp(&b.0));
+                // For each run of equal keys, enumerate combinations of
+                // target children; accumulate class-level option lists.
+                let class_children: Vec<NodeId> =
+                    n.children[start..end].to_vec();
+                let class_options = assign_and_enumerate(
+                    tree,
+                    index,
+                    &keyed,
+                    &class_children,
+                    budget,
+                );
+                per_class_options.push(class_options);
+            }
+            // Cartesian product across classes.
+            let mut acc: Vec<Vec<V>> = vec![Vec::new()];
+            for options in per_class_options {
+                let mut next = Vec::new();
+                'outer: for base in &acc {
+                    for opt in &options {
+                        let mut merged = base.clone();
+                        merged.extend_from_slice(opt);
+                        next.push(merged);
+                        if next.len() >= *budget {
+                            break 'outer;
+                        }
+                    }
+                }
+                acc = next;
+            }
+            for s in &mut acc {
+                s.sort_unstable();
+            }
+            *budget = budget.saturating_sub(acc.len());
+            acc
+        }
+    }
+}
+
+/// Enumerates, for one sibling class, every way to (a) assign the pattern
+/// instances (grouped into runs of equal keys) to distinct children of the
+/// class and (b) pick a concrete image inside each chosen child. Returns
+/// the flattened vertex sets (one per combined choice).
+fn assign_and_enumerate(
+    tree: &AutoTree,
+    index: &SsmIndex,
+    keyed: &[KeyedInstance],
+    class_children: &[NodeId],
+    budget: &mut usize,
+) -> Vec<Vec<V>> {
+    // Runs of equal keys.
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < keyed.len() {
+        let mut j = i;
+        while j < keyed.len() && keyed[j].0 == keyed[i].0 {
+            j += 1;
+        }
+        runs.push((i, j));
+        i = j;
+    }
+    // For each run, the representative instance's images inside its home
+    // child, then transfer maps to each class child (computed lazily).
+    let mut results: Vec<Vec<V>> = Vec::new();
+    let mut chosen: Vec<(usize, usize)> = Vec::new(); // (run idx, child slot)
+    assign_rec(
+        tree,
+        index,
+        keyed,
+        &runs,
+        0,
+        class_children,
+        &mut vec![false; class_children.len()],
+        &mut chosen,
+        &mut results,
+        budget,
+    );
+    results
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign_rec(
+    tree: &AutoTree,
+    index: &SsmIndex,
+    keyed: &[KeyedInstance],
+    runs: &[(usize, usize)],
+    run_idx: usize,
+    class_children: &[NodeId],
+    used: &mut Vec<bool>,
+    chosen: &mut Vec<(usize, usize)>,
+    results: &mut Vec<Vec<V>>,
+    budget: &mut usize,
+) {
+    if results.len() >= *budget {
+        return;
+    }
+    if run_idx == runs.len() {
+        // All pattern instances placed: enumerate concrete images per
+        // placement (cartesian product over placements).
+        let mut acc: Vec<Vec<V>> = vec![Vec::new()];
+        for &(ri, slot) in chosen.iter() {
+            let (start, _) = runs[ri];
+            let (_, inst) = &keyed[start];
+            let home = inst.1;
+            let target = class_children[slot];
+            let mut local_budget = *budget;
+            let home_images = enum_at(tree, index, home, &inst.2, &mut local_budget);
+            // Transfer each image to the target child.
+            let images: Vec<Vec<V>> = if home == target {
+                home_images
+            } else {
+                let iso: FxHashMap<V, V> = tree
+                    .sibling_isomorphism(home, target)
+                    .into_iter()
+                    .collect();
+                home_images
+                    .into_iter()
+                    .map(|img| {
+                        let mut t: Vec<V> = img.iter().map(|v| iso[v]).collect();
+                        t.sort_unstable();
+                        t
+                    })
+                    .collect()
+            };
+            let mut next = Vec::new();
+            for base in &acc {
+                for img in &images {
+                    let mut merged = base.clone();
+                    merged.extend_from_slice(img);
+                    next.push(merged);
+                    if next.len() >= *budget {
+                        break;
+                    }
+                }
+                if next.len() >= *budget {
+                    break;
+                }
+            }
+            acc = next;
+        }
+        results.extend(acc);
+        return;
+    }
+    // Place every instance of this run into distinct unused child slots.
+    let (start, end) = runs[run_idx];
+    let count = end - start;
+    // Choose `count` unused slots (combinations, ascending, to avoid
+    // duplicate unordered assignments of equal-key instances).
+    fn combos(
+        used: &mut Vec<bool>,
+        from: usize,
+        remaining: usize,
+        picked: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if remaining == 0 {
+            out.push(picked.clone());
+            return;
+        }
+        for s in from..used.len() {
+            if used[s] {
+                continue;
+            }
+            used[s] = true;
+            picked.push(s);
+            combos(used, s + 1, remaining - 1, picked, out);
+            picked.pop();
+            used[s] = false;
+        }
+    }
+    let mut options = Vec::new();
+    combos(used, 0, count, &mut Vec::new(), &mut options);
+    for slots in options {
+        for (k, &s) in slots.iter().enumerate() {
+            used[s] = true;
+            chosen.push((run_idx, s));
+            let _ = k;
+        }
+        assign_rec(
+            tree,
+            index,
+            keyed,
+            runs,
+            run_idx + 1,
+            class_children,
+            used,
+            chosen,
+            results,
+            budget,
+        );
+        for &s in &slots {
+            used[s] = false;
+            chosen.pop();
+        }
+        if results.len() >= *budget {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_autotree, DviclOptions};
+    use dvicl_graph::{named, Coloring, Graph};
+    use dvicl_group::brute;
+
+    fn setup(g: &Graph) -> (AutoTree, SsmIndex) {
+        let t = build_autotree(g, &Coloring::unit(g.n()), &DviclOptions::default());
+        let i = SsmIndex::new(&t);
+        (t, i)
+    }
+
+    /// Ground truth: distinct images of `set` under brute-force Aut(G).
+    fn brute_images(g: &Graph, set: &[V]) -> Vec<Vec<V>> {
+        let pi = Coloring::unit(g.n());
+        let mut out: FxHashSet<Vec<V>> = FxHashSet::default();
+        for gamma in brute::automorphisms(g, &pi) {
+            let mut img: Vec<V> = set.iter().map(|&v| gamma.apply(v)).collect();
+            img.sort_unstable();
+            out.insert(img);
+        }
+        let mut v: Vec<Vec<V>> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn counts_match_brute_force() {
+        let cases: Vec<(Graph, Vec<V>)> = vec![
+            (named::fig1_example(), vec![4]),          // orbit {4,5,6}: 3
+            (named::fig1_example(), vec![0, 4]),       // 4 × 3 = 12
+            (named::fig1_example(), vec![4, 5]),       // pairs in triangle: 3
+            (named::fig1_example(), vec![0, 1]),       // cycle edges: 4
+            (named::fig1_example(), vec![0, 2]),       // cycle diagonal: 2
+            (named::star(5), vec![1, 2]),              // C(5,2) = 10
+            (named::rary_tree(2, 2), vec![3]),         // 4 grandchildren
+            (named::rary_tree(2, 2), vec![3, 4]),      // sibling pairs: 2
+            (named::rary_tree(2, 2), vec![3, 5]),      // cross pairs: 4
+            (named::petersen(), vec![0, 1]),           // edges: 15
+            (named::petersen(), vec![0, 2]),           // non-edges: 30
+            (named::hypercube(3), vec![0, 3, 5, 6]),   // one tetrahedral class: 2
+        ];
+        for (g, set) in cases {
+            let (t, i) = setup(&g);
+            let expected = brute_images(&g, &set).len() as u64;
+            assert_eq!(
+                count_images(&t, &i, &set).to_u64(),
+                Some(expected),
+                "count mismatch for {g:?} set {set:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force() {
+        let cases: Vec<(Graph, Vec<V>)> = vec![
+            (named::fig1_example(), vec![4]),
+            (named::fig1_example(), vec![0, 4]),
+            (named::fig1_example(), vec![0, 1, 4]),
+            (named::star(5), vec![1, 2]),
+            (named::rary_tree(2, 2), vec![3, 5]),
+            (named::petersen(), vec![0, 1, 2]),
+        ];
+        for (g, set) in cases {
+            let (t, i) = setup(&g);
+            let mut truth = brute_images(&g, &set);
+            let res = enumerate_images(&t, &i, &set, 10_000);
+            assert!(res.complete, "{g:?} {set:?} incomplete");
+            let mut got = res.matches.clone();
+            got.sort();
+            got.dedup();
+            truth.sort();
+            assert_eq!(got, truth, "enumeration mismatch for {g:?} set {set:?}");
+        }
+    }
+
+    #[test]
+    fn keys_classify_symmetry_like_brute_force() {
+        // All 2-subsets of fig1: keys equal iff brute-force symmetric.
+        let g = named::fig1_example();
+        let (t, i) = setup(&g);
+        let pi = Coloring::unit(8);
+        let autos = brute::automorphisms(&g, &pi);
+        let sets: Vec<Vec<V>> = (0..8)
+            .flat_map(|a| ((a + 1)..8).map(move |b| vec![a as V, b as V]))
+            .collect();
+        for s1 in &sets {
+            for s2 in &sets {
+                let truly = autos.iter().any(|gamma| {
+                    let mut img: Vec<V> = s1.iter().map(|&v| gamma.apply(v)).collect();
+                    img.sort_unstable();
+                    img == *s2
+                });
+                let by_key = same_symmetry(&t, &i, s1, s2);
+                assert_eq!(truly, by_key, "key disagreement on {s1:?} vs {s2:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn example_6_11_shape() {
+        // The paper's Example 6.11 runs on the Fig. 3 graph: a query path
+        // of (pendant, clique-member, other-clique-member) has 6 images
+        // inside one wing-triple and 6 more... our fig3 analog: query the
+        // 2-path (pendant p, clique member c) plus one other clique member.
+        // We verify the SSM result against brute force instead of the
+        // paper's absolute listing (our fig3 differs in the second level).
+        let g = named::fig3_example();
+        let (t, i) = setup(&g);
+        let query: Vec<V> = vec![3, 2, 4]; // pendant 3 - clique 2 - clique 4
+        let truth = brute_images(&g, &query);
+        let res = enumerate_images(&t, &i, &query, 1000);
+        assert!(res.complete);
+        let mut got = res.matches.clone();
+        got.sort();
+        assert_eq!(got, truth);
+        assert_eq!(
+            count_images(&t, &i, &query).to_u64(),
+            Some(truth.len() as u64)
+        );
+    }
+
+    #[test]
+    fn budget_truncates() {
+        let g = named::star(8);
+        let (t, i) = setup(&g);
+        // C(8,3) = 56 images of a 3-leaf subset.
+        let res = enumerate_images(&t, &i, &[1, 2, 3], 10);
+        assert!(!res.complete);
+        assert!(res.matches.len() <= 10);
+        assert!(!res.matches.is_empty());
+        let full = enumerate_images(&t, &i, &[1, 2, 3], 100);
+        assert!(full.complete);
+        assert_eq!(full.matches.len(), 56);
+        assert_eq!(count_images(&t, &i, &[1, 2, 3]).to_u64(), Some(56));
+    }
+
+    #[test]
+    fn whole_vertex_set_is_rigid() {
+        let g = named::fig1_example();
+        let (t, i) = setup(&g);
+        let all: Vec<V> = (0..8).collect();
+        assert_eq!(count_images(&t, &i, &all).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn asymmetric_graph_all_counts_one() {
+        let g = named::frucht();
+        let (t, i) = setup(&g);
+        for v in 0..12 {
+            assert_eq!(count_images(&t, &i, &[v]).to_u64(), Some(1));
+        }
+        assert_eq!(count_images(&t, &i, &[0, 5, 9]).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn large_counts_use_bigint() {
+        // A star with 70 leaves: C(70, 35) ≈ 1.1E20 > u64 for the orbit of
+        // a 35-leaf subset.
+        let g = named::star(70);
+        let (t, i) = setup(&g);
+        let set: Vec<V> = (1..=35).collect();
+        let c = count_images(&t, &i, &set);
+        assert_eq!(c.to_decimal(), BigUint::binomial(70, 35).to_decimal());
+        assert!(c.to_u64().is_none());
+    }
+}

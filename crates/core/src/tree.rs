@@ -1,0 +1,274 @@
+//! The AutoTree `𝒜𝒯(G, π)`: the paper's tree index over a colored graph.
+//!
+//! Every node represents an induced colored subgraph `(g, π_g)` of `G` and
+//! carries its canonical labeling `γ_g` (as per-vertex labels) and its
+//! certificate `C(g, π_g)`. Children of an internal node are sorted by
+//! certificate, and runs of equal certificates form *sibling classes*:
+//! subgraphs that are symmetric in `G` (Lemmas 6.7/6.8).
+
+use dvicl_graph::{CanonForm, Coloring, Perm, V};
+use std::fmt;
+
+/// Index of a node in an [`AutoTree`].
+pub type NodeId = usize;
+
+/// What kind of node: the paper's three cases of Algorithm 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NodeKind {
+    /// A one-vertex subgraph (`g = {v}`).
+    SingletonLeaf,
+    /// A subgraph neither `DivideI` nor `DivideS` could disconnect; its
+    /// labeling came from the IR engine via `CombineCL`.
+    NonSingletonLeaf,
+    /// A divided node; its labeling came from `CombineST`.
+    Internal,
+}
+
+/// One node of the AutoTree.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Node {
+    /// Global vertex ids of `V(g)`, ascending.
+    pub verts: Vec<V>,
+    /// Canonical labels `γ_g(v)`, parallel to `verts`.
+    pub labels: Vec<V>,
+    /// The certificate `C(g, π_g) = (g, π_g)^{γ_g}`.
+    pub form: CanonForm,
+    /// Children, sorted by certificate (empty for leaves).
+    pub children: Vec<NodeId>,
+    /// Runs of equal-certificate children, as `[start, end)` ranges into
+    /// `children`: each run is one class of mutually symmetric siblings.
+    pub sibling_classes: Vec<(usize, usize)>,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Depth (root = 0).
+    pub depth: u32,
+    /// Parent (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// For non-singleton leaves: automorphism generators of the leaf's
+    /// colored subgraph, as sparse global `(v, v^γ)` mappings.
+    pub leaf_generators: Vec<Vec<(V, V)>>,
+}
+
+impl Node {
+    /// The canonical label of global vertex `v` in this node, if present.
+    pub fn label_of(&self, v: V) -> Option<V> {
+        self.verts
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.labels[i])
+    }
+
+    /// True iff `v ∈ V(g)`.
+    pub fn contains(&self, v: V) -> bool {
+        self.verts.binary_search(&v).is_ok()
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.verts.len()
+    }
+}
+
+/// Structural statistics of an AutoTree — the rows of Tables 3 and 4.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TreeStats {
+    /// Total tree nodes `|V(𝒜𝒯)|`.
+    pub total_nodes: usize,
+    /// Singleton leaf count.
+    pub singleton_leaves: usize,
+    /// Non-singleton leaf count.
+    pub non_singleton_leaves: usize,
+    /// Average vertex count of non-singleton leaves (0 when none).
+    pub avg_non_singleton_size: f64,
+    /// Largest non-singleton leaf.
+    pub max_non_singleton_size: usize,
+    /// Tree depth (root-only tree has depth 0).
+    pub depth: u32,
+}
+
+/// The AutoTree `𝒜𝒯(G, π)` produced by `DviCL`.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AutoTree {
+    /// The equitable root coloring `π` (after the refinement in
+    /// Algorithm 1 line 1), over global vertices.
+    pub pi: Coloring,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: NodeId,
+}
+
+impl AutoTree {
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// All nodes (tree order is construction order: parents precede their
+    /// children).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the tree is empty (zero-vertex graph).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The certificate of the whole graph: `C(G, π)` at the root.
+    pub fn canonical_form(&self) -> &CanonForm {
+        &self.nodes[self.root].form
+    }
+
+    /// The canonical labeling of the whole graph as a permutation
+    /// (vertex → canonical position).
+    pub fn canonical_labeling(&self) -> Perm {
+        let node = &self.nodes[self.root];
+        let mut image = vec![0 as V; node.n()];
+        for (i, &v) in node.verts.iter().enumerate() {
+            image[v as usize] = node.labels[i];
+        }
+        Perm::from_image(image).expect("root labels form a permutation")
+    }
+
+    /// Structural statistics (Tables 3/4).
+    pub fn stats(&self) -> TreeStats {
+        let mut s = TreeStats {
+            total_nodes: self.nodes.len(),
+            ..TreeStats::default()
+        };
+        let mut ns_size_sum = 0usize;
+        for node in &self.nodes {
+            s.depth = s.depth.max(node.depth);
+            match node.kind {
+                NodeKind::SingletonLeaf => s.singleton_leaves += 1,
+                NodeKind::NonSingletonLeaf => {
+                    s.non_singleton_leaves += 1;
+                    ns_size_sum += node.n();
+                    s.max_non_singleton_size = s.max_non_singleton_size.max(node.n());
+                }
+                NodeKind::Internal => {}
+            }
+        }
+        if s.non_singleton_leaves > 0 {
+            s.avg_non_singleton_size = ns_size_sum as f64 / s.non_singleton_leaves as f64;
+        }
+        s
+    }
+
+    /// The deepest node whose subgraph contains all of `set`
+    /// (SSM-AT line 1). `set` must be non-empty and within range.
+    pub fn deepest_containing(&self, set: &[V]) -> NodeId {
+        assert!(!set.is_empty(), "empty vertex set");
+        let mut cur = self.root;
+        'descend: loop {
+            for &c in &self.nodes[cur].children {
+                if set.iter().all(|&v| self.nodes[c].contains(v)) {
+                    cur = c;
+                    continue 'descend;
+                }
+            }
+            return cur;
+        }
+    }
+
+    /// Leaf node containing vertex `v`.
+    pub fn leaf_of(&self, v: V) -> NodeId {
+        let mut cur = self.root;
+        'descend: loop {
+            for &c in &self.nodes[cur].children {
+                if self.nodes[c].contains(v) {
+                    cur = c;
+                    continue 'descend;
+                }
+            }
+            return cur;
+        }
+    }
+
+    /// The sibling class (parent id, class range) containing child `id`;
+    /// `None` for the root.
+    pub fn class_of(&self, id: NodeId) -> Option<(NodeId, usize, usize)> {
+        let parent = self.nodes[id].parent?;
+        let p = &self.nodes[parent];
+        let pos = p
+            .children
+            .iter()
+            .position(|&c| c == id)
+            .expect("child listed in parent");
+        let &(s, e) = p
+            .sibling_classes
+            .iter()
+            .find(|&&(s, e)| s <= pos && pos < e)
+            .expect("classes cover children");
+        Some((parent, s, e))
+    }
+
+    /// The isomorphism between two *symmetric sibling* nodes `a → b`
+    /// (equal certificates under the same parent), as the sparse map
+    /// matching equal canonical labels (`γ_{ij}` in SSM-AT).
+    pub fn sibling_isomorphism(&self, a: NodeId, b: NodeId) -> Vec<(V, V)> {
+        let (na, nb) = (&self.nodes[a], &self.nodes[b]);
+        assert_eq!(na.form, nb.form, "siblings are not symmetric");
+        let mut pa: Vec<(V, V)> = na
+            .labels
+            .iter()
+            .zip(&na.verts)
+            .map(|(&l, &v)| (l, v))
+            .collect();
+        let mut pb: Vec<(V, V)> = nb
+            .labels
+            .iter()
+            .zip(&nb.verts)
+            .map(|(&l, &v)| (l, v))
+            .collect();
+        pa.sort_unstable();
+        pb.sort_unstable();
+        pa.iter()
+            .zip(&pb)
+            .map(|(&(la, va), &(lb, vb))| {
+                debug_assert_eq!(la, lb, "label multisets of symmetric siblings agree");
+                (va, vb)
+            })
+            .collect()
+    }
+
+    /// Renders the tree as indented ASCII (for the figure examples).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_rec(self.root, 0, &mut out);
+        out
+    }
+
+    fn render_rec(&self, id: NodeId, indent: usize, out: &mut String) {
+        use fmt::Write;
+        let n = &self.nodes[id];
+        let kind = match n.kind {
+            NodeKind::SingletonLeaf => "·",
+            NodeKind::NonSingletonLeaf => "▣",
+            NodeKind::Internal => "○",
+        };
+        writeln!(
+            out,
+            "{:indent$}{kind} {:?} γ={:?}",
+            "",
+            n.verts,
+            n.labels,
+            indent = indent
+        )
+        .expect("writing to String cannot fail");
+        for &c in &n.children {
+            self.render_rec(c, indent + 2, out);
+        }
+    }
+}

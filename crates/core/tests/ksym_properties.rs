@@ -1,0 +1,34 @@
+//! Property test for k-symmetry anonymization: the extension of any graph
+//! must leave no orbit smaller than k (the paper's re-identification
+//! guarantee).
+
+use dvicl_core::{aut, build_autotree, ksym, DviclOptions};
+use dvicl_graph::{Coloring, Graph, V};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn every_orbit_reaches_k(
+        n in 2usize..12,
+        edges in proptest::collection::vec((0u32..12, 0u32..12), 0..30),
+        k in 2usize..4,
+    ) {
+        let edges: Vec<(V, V)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let g = Graph::from_edges(n, &edges);
+        let tree = build_autotree(&g, &Coloring::unit(n), &DviclOptions::default());
+        let (g2, stats) = ksym::k_symmetric_extension(&g, &tree, k);
+        prop_assert!(g2.n() >= n);
+        prop_assert_eq!(g2.n() - n, stats.added_vertices);
+        // Recompute orbits on the extension: all at least k.
+        let t2 = build_autotree(&g2, &Coloring::unit(g2.n()), &DviclOptions::default());
+        let mut orbits = aut::orbits(&t2);
+        for cell in orbits.cells() {
+            prop_assert!(cell.len() >= k, "orbit {:?} < k={}", cell, k);
+        }
+    }
+}

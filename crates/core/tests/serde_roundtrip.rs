@@ -1,0 +1,34 @@
+//! AutoTree persistence: with the `serde` feature, a tree can be stored
+//! and reloaded (the database-indexing workflow) with its certificate,
+//! labels and navigation intact.
+#![cfg(feature = "serde")]
+
+use dvicl_core::{aut, build_autotree, AutoTree, DviclOptions};
+use dvicl_graph::{named, Coloring};
+
+#[test]
+fn autotree_roundtrips_through_json() {
+    let g = named::fig1_example();
+    let tree = build_autotree(&g, &Coloring::unit(8), &DviclOptions::default());
+    let json = serde_json::to_string(&tree).expect("serialize");
+    let back: AutoTree = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.canonical_form(), tree.canonical_form());
+    assert_eq!(back.canonical_labeling(), tree.canonical_labeling());
+    assert_eq!(back.stats(), tree.stats());
+    assert_eq!(aut::group_order(&back), aut::group_order(&tree));
+    // SSM still works on the reloaded tree.
+    let idx = dvicl_core::ssm::SsmIndex::new(&back);
+    assert_eq!(
+        dvicl_core::ssm::count_images(&back, &idx, &[4]).to_u64(),
+        Some(3)
+    );
+}
+
+#[test]
+fn certificates_roundtrip() {
+    let g = named::petersen();
+    let form = dvicl_core::canonical_form(&g);
+    let json = serde_json::to_string(&form).unwrap();
+    let back: dvicl_graph::CanonForm = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, form);
+}

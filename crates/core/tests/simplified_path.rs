@@ -1,0 +1,63 @@
+//! The structural-equivalence path (§6.1) must classify isomorphism
+//! exactly like the plain path, on random graphs.
+
+use dvicl_core::{build_autotree, simplify, DviclOptions};
+use dvicl_graph::{Coloring, Graph, V};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(any::<u32>(), 0..28).prop_map(move |raw| {
+            let edges: Vec<(V, V)> = raw
+                .iter()
+                .map(|&x| ((x % n as u32) as V, ((x / 7919) % n as u32) as V))
+                .collect();
+            Graph::from_edges(n, &edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Equal simplified certificates ⇔ equal plain certificates.
+    #[test]
+    fn classification_agrees(a in arb_graph(10), b in arb_graph(10)) {
+        let opts = DviclOptions::default();
+        let plain = |g: &Graph| {
+            build_autotree(g, &Coloring::unit(g.n()), &opts)
+                .canonical_form()
+                .clone()
+        };
+        let simplified = |g: &Graph| {
+            simplify::dvicl_simplified(g, &Coloring::unit(g.n()), &opts).certificate
+        };
+        prop_assert_eq!(plain(&a) == plain(&b), simplified(&a) == simplified(&b));
+    }
+
+    /// The simplified certificate is relabeling-invariant on twin-rich
+    /// graphs (pendants doubled to force real collapsing).
+    #[test]
+    fn twin_rich_invariance(g in arb_graph(8), seed in any::<u64>()) {
+        // Double every vertex as a pendant twin pair to force classes.
+        let n = g.n();
+        let mut edges: Vec<(V, V)> = g.edges().collect();
+        for v in 0..n as V {
+            edges.push((v, n as V + 2 * v));
+            edges.push((v, n as V + 2 * v + 1));
+        }
+        let gg = Graph::from_edges(3 * n, &edges);
+        let mut image: Vec<V> = (0..3 * n as u32).collect();
+        let mut state = seed | 1;
+        for i in (1..3 * n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            image.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let gamma = dvicl_graph::Perm::from_image(image).unwrap();
+        let opts = DviclOptions::default();
+        let c1 = simplify::dvicl_simplified(&gg, &Coloring::unit(3 * n), &opts);
+        let c2 = simplify::dvicl_simplified(&gg.permuted(&gamma), &Coloring::unit(3 * n), &opts);
+        prop_assert!(!c1.twins.non_singleton.is_empty(), "twins were planted");
+        prop_assert_eq!(c1.certificate, c2.certificate);
+    }
+}

@@ -1,0 +1,27 @@
+//! Deterministic synthetic dataset suite for the DviCL reproduction.
+//!
+//! The paper evaluates on 22 real graphs (SNAP/Konect downloads up to 117M
+//! edges) and 9 benchmark graphs from the bliss collection. Neither is
+//! available to this reproduction, so this crate builds substitutes, all
+//! fully deterministic from per-dataset seeds:
+//!
+//! * [`social`] — scaled-down *analogs* of the 22 real graphs: a Chung–Lu
+//!   power-law core (real social/web degree distributions) with planted
+//!   symmetry — pendant twins, duplicated hanging trees, and ring pockets —
+//!   because published analyses (refs \[24, 36\] of the paper) attribute
+//!   real-network symmetry to exactly such locally duplicated structures.
+//! * [`bench_graphs`] — from-scratch constructions of the benchmark
+//!   families: wrapped grids, Hadamard graphs, projective/affine plane
+//!   incidence graphs, Cai–Fürer–Immerman gadget graphs, Miyazaki-style
+//!   twisted ladders, and SAT-circuit-shaped substitutes.
+//!
+//! See DESIGN.md §4 and EXPERIMENTS.md for the substitution rationale and
+//! the per-dataset parameters.
+
+#![warn(missing_docs)]
+
+pub mod bench_graphs;
+pub mod registry;
+pub mod social;
+
+pub use registry::{benchmark_suite, social_suite, Dataset};

@@ -1,0 +1,403 @@
+//! Ordered partitions of the vertex set (the paper's colorings `π`).
+
+use crate::{Graph, Perm, V};
+use std::fmt;
+
+/// A coloring `π = [V1 | V2 | ... | Vk]`: a disjoint ordered partition of
+/// `0..n`.
+///
+/// Following Section 2 of the paper, the *color* of a vertex in cell `Vi` is
+/// `Σ_{j<i} |Vj|`, i.e. the start offset of its cell — so a discrete
+/// coloring is exactly a permutation. Within each cell, vertices are kept in
+/// ascending order (the internal order never affects any algorithm; it only
+/// makes output deterministic).
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Coloring {
+    color: Vec<V>,
+    cells: Vec<Vec<V>>,
+}
+
+impl Coloring {
+    /// The unit coloring `[0..n]` (a single cell).
+    pub fn unit(n: usize) -> Self {
+        if n == 0 {
+            return Coloring {
+                color: Vec::new(),
+                cells: Vec::new(),
+            };
+        }
+        Coloring {
+            color: vec![0; n],
+            cells: vec![(0..n as V).collect()],
+        }
+    }
+
+    /// The discrete coloring `[0 | 1 | ... | n-1]` in identity order.
+    pub fn discrete(n: usize) -> Self {
+        Coloring {
+            color: (0..n as V).collect(),
+            cells: (0..n as V).map(|v| vec![v]).collect(),
+        }
+    }
+
+    /// Builds a coloring from ordered cells. Returns `None` unless the cells
+    /// form a disjoint partition of `0..n` for `n` = total size.
+    pub fn from_cells(cells: Vec<Vec<V>>) -> Option<Self> {
+        let n: usize = cells.iter().map(|c| c.len()).sum();
+        let mut color = vec![V::MAX; n];
+        let mut offset = 0 as V;
+        let mut cells = cells;
+        for cell in &mut cells {
+            if cell.is_empty() {
+                return None;
+            }
+            for &v in cell.iter() {
+                let v = v as usize;
+                if v >= n || color[v] != V::MAX {
+                    return None;
+                }
+                color[v] = offset;
+            }
+            cell.sort_unstable();
+            offset += cell.len() as V;
+        }
+        Some(Coloring { color, cells })
+    }
+
+    /// Builds a coloring from arbitrary per-vertex labels: cells are grouped
+    /// by label and ordered by ascending label value.
+    pub fn from_labels(labels: &[V]) -> Self {
+        let mut order: Vec<V> = (0..labels.len() as V).collect();
+        order.sort_unstable_by_key(|&v| (labels[v as usize], v));
+        let mut cells: Vec<Vec<V>> = Vec::new();
+        for &v in &order {
+            match cells.last_mut() {
+                Some(cell) if labels[cell[0] as usize] == labels[v as usize] => cell.push(v),
+                _ => cells.push(vec![v]),
+            }
+        }
+        Coloring::from_cells(cells).expect("grouped labels always form a partition")
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.color.len()
+    }
+
+    /// The ordered cells.
+    pub fn cells(&self) -> &[Vec<V>] {
+        &self.cells
+    }
+
+    /// Number of cells `k`.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of singleton cells.
+    pub fn num_singletons(&self) -> usize {
+        self.cells.iter().filter(|c| c.len() == 1).count()
+    }
+
+    /// The color `π(v)` (start offset of `v`'s cell).
+    #[inline]
+    pub fn color_of(&self, v: V) -> V {
+        self.color[v as usize]
+    }
+
+    /// The size of the cell containing `v`.
+    ///
+    /// Costs a binary search over the cell start offsets; colors *are* the
+    /// start offsets, so the search runs over a strictly increasing key.
+    pub fn cell_len_of(&self, v: V) -> usize {
+        let c = self.color[v as usize];
+        // A cell's start offset is the color of any of its members, so the
+        // search key is `color_of(cells[i][0])`, strictly increasing.
+        let idx = self
+            .cells
+            .partition_point(|cell| self.color[cell[0] as usize] <= c);
+        self.cells[idx - 1].len()
+    }
+
+    /// True iff `v` lies in a singleton cell.
+    pub fn is_singleton(&self, v: V) -> bool {
+        self.cell_len_of(v) == 1
+    }
+
+    /// The per-vertex color array.
+    pub fn colors(&self) -> &[V] {
+        &self.color
+    }
+
+    /// True iff every cell is a singleton (`k = n`).
+    pub fn is_discrete(&self) -> bool {
+        self.cells.len() == self.color.len()
+    }
+
+    /// True iff there is a single cell (`k = 1`, or `n = 0`).
+    pub fn is_unit(&self) -> bool {
+        self.cells.len() <= 1
+    }
+
+    /// True iff `self ⪯ other`: every cell of `self` is a subset of a cell
+    /// of `other`, and the cell order is compatible (colors are
+    /// non-decreasing refinements).
+    pub fn is_finer_or_equal(&self, other: &Coloring) -> bool {
+        if self.n() != other.n() {
+            return false;
+        }
+        // Every cell of self must lie inside one cell of other...
+        for cell in &self.cells {
+            let c = other.color_of(cell[0]);
+            if cell.iter().any(|&v| other.color_of(v) != c) {
+                return false;
+            }
+        }
+        // ...and splitting must preserve the relative order of other's cells.
+        let mut pairs: Vec<(V, V)> = self
+            .cells
+            .iter()
+            .map(|cell| (self.color_of(cell[0]), other.color_of(cell[0])))
+            .collect();
+        pairs.sort_unstable();
+        pairs.windows(2).all(|w| w[0].1 <= w[1].1)
+    }
+
+    /// True iff `π` is equitable with respect to `g`: within every cell, all
+    /// vertices have the same number of neighbors in every cell.
+    pub fn is_equitable(&self, g: &Graph) -> bool {
+        assert_eq!(self.n(), g.n());
+        let n = self.n();
+        let mut counts = vec![0usize; n];
+        let mut reference = vec![0usize; n];
+        for cell in &self.cells {
+            if cell.len() == 1 {
+                continue;
+            }
+            for (i, &v) in cell.iter().enumerate() {
+                let store: &mut [usize] = if i == 0 {
+                    &mut reference
+                } else {
+                    &mut counts
+                };
+                let mut touched = Vec::new();
+                for &w in g.neighbors(v) {
+                    let c = self.color[w as usize] as usize;
+                    if store[c] == 0 {
+                        touched.push(c);
+                    }
+                    store[c] += 1;
+                }
+                if i > 0 {
+                    let ok = touched.iter().all(|&c| counts[c] == reference[c])
+                        && g.degree(v) == g.degree(cell[0]);
+                    for &c in &touched {
+                        counts[c] = 0;
+                    }
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+            for &w0 in g.neighbors(cell[0]) {
+                reference[self.color[w0 as usize] as usize] = 0;
+            }
+        }
+        true
+    }
+
+    /// The coloring `π^γ` with `π^γ(v) = π(v^γ)`: each cell `Vi` becomes
+    /// `Vi^(γ⁻¹)`, in the same order.
+    pub fn apply_perm(&self, gamma: &Perm) -> Coloring {
+        assert_eq!(gamma.len(), self.n());
+        let inv = gamma.inverse();
+        let cells = self
+            .cells
+            .iter()
+            .map(|cell| {
+                let mut c: Vec<V> = cell.iter().map(|&v| inv.apply(v)).collect();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        Coloring::from_cells(cells).expect("permuted partition stays a partition")
+    }
+
+    /// For a discrete coloring, the corresponding permutation
+    /// `π̄ : v ↦ π(v)`. Returns `None` if not discrete.
+    pub fn to_perm(&self) -> Option<Perm> {
+        if !self.is_discrete() {
+            return None;
+        }
+        Perm::from_image(self.color.clone())
+    }
+
+    /// Individualizes vertex `v`: `v` is split out *in front of* the
+    /// remainder of its cell. Panics if `v`'s cell is a singleton.
+    pub fn individualize(&self, v: V) -> Coloring {
+        let mut cells: Vec<Vec<V>> = Vec::with_capacity(self.cells.len() + 1);
+        let mut found = false;
+        for cell in &self.cells {
+            if cell.contains(&v) {
+                assert!(cell.len() > 1, "individualizing a singleton cell");
+                cells.push(vec![v]);
+                cells.push(cell.iter().copied().filter(|&u| u != v).collect());
+                found = true;
+            } else {
+                cells.push(cell.clone());
+            }
+        }
+        assert!(found, "vertex not in coloring");
+        Coloring::from_cells(cells).expect("individualization keeps a partition")
+    }
+
+    /// Projects the coloring onto the vertex subset `verts` (the paper's
+    /// `π_g`), relabeling to local indices `0..verts.len()` in the order
+    /// given. Cells keep their relative order; empty intersections vanish.
+    pub fn project(&self, verts: &[V]) -> Coloring {
+        let mut local: Vec<(V, V)> = verts
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (self.color_of(v), i as V))
+            .collect();
+        local.sort_unstable();
+        let mut cells: Vec<Vec<V>> = Vec::new();
+        let mut last = V::MAX;
+        for (c, i) in local {
+            if c != last {
+                cells.push(Vec::new());
+                last = c;
+            }
+            cells.last_mut().unwrap().push(i);
+        }
+        Coloring::from_cells(cells).expect("projection forms a partition")
+    }
+}
+
+impl fmt::Debug for Coloring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Coloring {
+    /// Paper notation, e.g. `[0,1,2,3|4,5,6|7]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, "|")?;
+            }
+            for (j, v) in cell.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::named;
+
+    #[test]
+    fn unit_and_discrete() {
+        let u = Coloring::unit(4);
+        assert!(u.is_unit());
+        assert!(!u.is_discrete());
+        assert_eq!(u.color_of(3), 0);
+        let d = Coloring::discrete(4);
+        assert!(d.is_discrete());
+        assert_eq!(d.color_of(3), 3);
+        assert!(d.is_finer_or_equal(&u));
+        assert!(!u.is_finer_or_equal(&d));
+    }
+
+    #[test]
+    fn colors_are_cell_offsets() {
+        // π2 = [0,1,2,3 | 4,5,6 | 7] from the paper.
+        let pi = Coloring::from_cells(vec![vec![0, 1, 2, 3], vec![4, 5, 6], vec![7]]).unwrap();
+        assert_eq!(pi.color_of(2), 0);
+        assert_eq!(pi.color_of(5), 4);
+        assert_eq!(pi.color_of(7), 7);
+        assert_eq!(pi.to_string(), "[0,1,2,3|4,5,6|7]");
+    }
+
+    #[test]
+    fn rejects_bad_partitions() {
+        assert!(Coloring::from_cells(vec![vec![0, 1], vec![1]]).is_none());
+        assert!(Coloring::from_cells(vec![vec![0, 2]]).is_none());
+        assert!(Coloring::from_cells(vec![vec![0], vec![]]).is_none());
+    }
+
+    #[test]
+    fn paper_equitability_examples() {
+        let g = named::fig1_example();
+        // π1 = [0,1,2,3,4,5,6|7] is equitable (paper, Section 2).
+        let pi1 =
+            Coloring::from_cells(vec![vec![0, 1, 2, 3, 4, 5, 6], vec![7]]).unwrap();
+        assert!(pi1.is_equitable(&g));
+        // π2 = [0,1,2,3|4,5,6|7] is equitable.
+        let pi2 = Coloring::from_cells(vec![vec![0, 1, 2, 3], vec![4, 5, 6], vec![7]]).unwrap();
+        assert!(pi2.is_equitable(&g));
+        // π3 = [0,1,2,3|4,5,6,7] is not equitable.
+        let pi3 = Coloring::from_cells(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]).unwrap();
+        assert!(!pi3.is_equitable(&g));
+    }
+
+    #[test]
+    fn apply_perm_matches_paper_example() {
+        // π3 = [0,1,2|3,4,5,6|7], γ3 = (1,3)(5,7) → π3^γ3 = [0,2,3|1,4,6,7|5].
+        let pi3 = Coloring::from_cells(vec![vec![0, 1, 2], vec![3, 4, 5, 6], vec![7]]).unwrap();
+        let g3 = Perm::from_cycles(8, &[&[1, 3], &[5, 7]]).unwrap();
+        let out = pi3.apply_perm(&g3);
+        assert_eq!(out.to_string(), "[0,2,3|1,4,6,7|5]");
+    }
+
+    #[test]
+    fn discrete_coloring_to_perm_matches_paper() {
+        // [0|3|2|1|4|6|5|7] corresponds to (1,3)(5,6).
+        let pi = Coloring::from_cells(vec![
+            vec![0],
+            vec![3],
+            vec![2],
+            vec![1],
+            vec![4],
+            vec![6],
+            vec![5],
+            vec![7],
+        ])
+        .unwrap();
+        let p = pi.to_perm().unwrap();
+        assert_eq!(p, Perm::from_cycles(8, &[&[1, 3], &[5, 6]]).unwrap());
+    }
+
+    #[test]
+    fn individualize_splits_in_front() {
+        let pi = Coloring::from_cells(vec![vec![0, 1, 2, 3], vec![4, 5, 6], vec![7]]).unwrap();
+        let out = pi.individualize(4);
+        assert_eq!(out.to_string(), "[0,1,2,3|4|5,6|7]");
+        assert!(out.is_finer_or_equal(&pi));
+    }
+
+    #[test]
+    fn projection_keeps_cell_order() {
+        let pi = Coloring::from_cells(vec![vec![0, 1, 2, 3], vec![4, 5, 6], vec![7]]).unwrap();
+        // Project onto {2, 5, 7, 3} in that (local) order.
+        let pg = pi.project(&[2, 5, 7, 3]);
+        // Locals: 0 (=2, color 0), 3 (=3, color 0), 1 (=5, color 4), 2 (=7).
+        assert_eq!(pg.to_string(), "[0,3|1|2]");
+    }
+
+    #[test]
+    fn from_labels_groups_by_value() {
+        let pi = Coloring::from_labels(&[9, 2, 9, 2, 5]);
+        assert_eq!(pi.to_string(), "[1,3|4|0,2]");
+        assert_eq!(pi.color_of(4), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Canonical forms: the totally ordered certificates `(G, π)^γ`.
+
+use crate::{Coloring, Graph, V};
+use std::cmp::Ordering;
+
+/// The certificate of a relabeled colored graph `(G, π)^γ`.
+///
+/// The paper represents `(G, π)^γ` as a sorted edge list over a totally
+/// ordered set. We additionally record the multiset of colors (as sorted
+/// `(color, count)` runs) so that certificates of *colored sub*graphs — as
+/// used by the AutoTree, where labels are global color offsets and therefore
+/// sparse — compare correctly: two forms are equal iff the subgraphs are
+/// isomorphic as colored graphs under the labeling that produced them.
+///
+/// Forms order lexicographically: first by the color runs, then by the edge
+/// list. `Ord` gives the total order the search algorithms minimize over.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CanonForm {
+    /// Sorted `(color, multiplicity)` runs of the vertex color multiset.
+    pub colors: Vec<(V, V)>,
+    /// Sorted relabeled edges `(γ(u), γ(v))` with first < second.
+    pub edges: Vec<(V, V)>,
+}
+
+impl CanonForm {
+    /// Builds the certificate of `g` whose vertex `v` carries color
+    /// `color[v]` and canonical label `label[v]`. Labels must be pairwise
+    /// distinct (they need not be contiguous).
+    pub fn new(g: &Graph, colors: &[V], labels: &[V]) -> Self {
+        assert_eq!(g.n(), colors.len());
+        assert_eq!(g.n(), labels.len());
+        let mut color_runs: Vec<V> = colors.to_vec();
+        color_runs.sort_unstable();
+        let mut runs: Vec<(V, V)> = Vec::new();
+        for c in color_runs {
+            match runs.last_mut() {
+                Some((rc, cnt)) if *rc == c => *cnt += 1,
+                _ => runs.push((c, 1)),
+            }
+        }
+        let mut edges: Vec<(V, V)> = g
+            .edges()
+            .map(|(u, v)| {
+                let (a, b) = (labels[u as usize], labels[v as usize]);
+                if a < b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .collect();
+        edges.sort_unstable();
+        debug_assert!(edges.windows(2).all(|w| w[0] != w[1]), "labels not distinct");
+        CanonForm {
+            colors: runs,
+            edges,
+        }
+    }
+
+    /// Certificate of a whole colored graph under a discrete coloring given
+    /// as a permutation-like label array (`labels[v]` = canonical position).
+    pub fn of_colored_graph(g: &Graph, pi: &Coloring, labels: &[V]) -> Self {
+        CanonForm::new(g, pi.colors(), labels)
+    }
+
+    /// The single-vertex certificate used for singleton AutoTree leaves:
+    /// the paper defines `C(g, πg) = (π(v), π(v))` for `g = {v}`.
+    pub fn singleton(color: V) -> Self {
+        CanonForm {
+            colors: vec![(color, 1)],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Total number of vertices described by the form.
+    pub fn n(&self) -> usize {
+        self.colors.iter().map(|&(_, c)| c as usize).sum()
+    }
+
+    /// Number of edges in the form.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Lexicographic comparison (same as `Ord`, provided for readability at
+    /// call sites that mirror the paper's `min` selection).
+    pub fn cmp_lex(&self, other: &CanonForm) -> Ordering {
+        self.cmp(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::named;
+    use crate::Perm;
+
+    #[test]
+    fn isomorphic_labelings_give_equal_forms() {
+        let g = named::cycle(5);
+        let pi = Coloring::unit(5);
+        let id: Vec<V> = (0..5).collect();
+        let f1 = CanonForm::of_colored_graph(&g, &pi, &id);
+        // Relabel the cycle by rotation: the rotated graph with the rotated
+        // labeling describes the same abstract colored graph.
+        let rot = Perm::from_cycles(5, &[&[0, 1, 2, 3, 4]]).unwrap();
+        let g2 = g.permuted(&rot);
+        // labels2[v] = position of v in the canonical order chosen for g2;
+        // choosing labels2 = rot⁻¹ maps g2 back onto g's edge list.
+        let labels2: Vec<V> = (0..5).map(|v| rot.inverse().apply(v)).collect();
+        let f2 = CanonForm::of_colored_graph(&g2, &pi, &labels2);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn different_graphs_differ() {
+        let pi = Coloring::unit(4);
+        let id: Vec<V> = (0..4).collect();
+        let c4 = CanonForm::of_colored_graph(&named::cycle(4), &pi, &id);
+        let p4 = CanonForm::of_colored_graph(&named::path(4), &pi, &id);
+        assert_ne!(c4, p4);
+    }
+
+    #[test]
+    fn color_runs_participate_in_order() {
+        let g = Graph::empty(2);
+        let f1 = CanonForm::new(&g, &[0, 0], &[0, 1]);
+        let f2 = CanonForm::new(&g, &[0, 1], &[0, 1]);
+        assert_ne!(f1, f2);
+        // (0,2) run sorts after the (0,1),(1,1) runs lexicographically.
+        assert!(f2 < f1);
+    }
+
+    #[test]
+    fn singleton_form() {
+        let f = CanonForm::singleton(7);
+        assert_eq!(f.n(), 1);
+        assert_eq!(f.m(), 0);
+        assert_eq!(f.colors, vec![(7, 1)]);
+    }
+
+    #[test]
+    fn sparse_labels_allowed() {
+        let g = named::path(3);
+        let f = CanonForm::new(&g, &[0, 0, 0], &[10, 50, 90]);
+        assert_eq!(f.edges, vec![(10, 50), (50, 90)]);
+        assert_eq!(f.n(), 3);
+    }
+}

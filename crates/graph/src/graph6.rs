@@ -1,0 +1,184 @@
+//! graph6 encoding/decoding — the compact ASCII interchange format of the
+//! nauty ecosystem (McKay's `formats.txt`). Supporting it makes the
+//! library interoperable with the corpora the original tools ship with.
+//!
+//! Format recap: the vertex count is `n+63` as one byte for `n ≤ 62`,
+//! `126` + 3 bytes (18 bits big-endian, 6 bits each `+63`) for
+//! `n ≤ 258047`, or `126 126` + 6 bytes for larger `n`; then the upper
+//! triangle of the adjacency matrix in column order
+//! (`x_{0,1}, x_{0,2}, x_{1,2}, x_{0,3}, …`), packed big-endian into 6-bit
+//! groups, each `+63`.
+
+use crate::{Graph, GraphBuilder, V};
+use std::fmt;
+
+/// Error decoding a graph6 string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Graph6Error {
+    /// A byte outside the printable graph6 range (63..=126).
+    BadByte(u8),
+    /// The string ended before the declared adjacency bits did.
+    Truncated,
+    /// Trailing bytes after the adjacency bits.
+    TrailingData,
+}
+
+impl fmt::Display for Graph6Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Graph6Error::BadByte(b) => write!(f, "invalid graph6 byte {b:#04x}"),
+            Graph6Error::Truncated => write!(f, "graph6 string too short"),
+            Graph6Error::TrailingData => write!(f, "trailing bytes after graph6 data"),
+        }
+    }
+}
+
+impl std::error::Error for Graph6Error {}
+
+/// Encodes a graph as a graph6 ASCII string.
+pub fn to_graph6(g: &Graph) -> String {
+    let n = g.n();
+    let mut out: Vec<u8> = Vec::new();
+    if n <= 62 {
+        out.push(n as u8 + 63);
+    } else if n <= 258_047 {
+        out.push(126);
+        for shift in [12, 6, 0] {
+            out.push(((n >> shift) & 0x3f) as u8 + 63);
+        }
+    } else {
+        out.push(126);
+        out.push(126);
+        for shift in [30, 24, 18, 12, 6, 0] {
+            out.push(((n >> shift) & 0x3f) as u8 + 63);
+        }
+    }
+    // Upper-triangle bits in column order, 6 per byte, zero-padded.
+    let mut acc = 0u8;
+    let mut bits = 0u8;
+    for j in 1..n as V {
+        for i in 0..j {
+            acc = acc << 1 | g.has_edge(i, j) as u8;
+            bits += 1;
+            if bits == 6 {
+                out.push(acc + 63);
+                acc = 0;
+                bits = 0;
+            }
+        }
+    }
+    if bits > 0 {
+        out.push((acc << (6 - bits)) + 63);
+    }
+    String::from_utf8(out).expect("graph6 bytes are printable ASCII")
+}
+
+/// Decodes a graph6 ASCII string.
+pub fn from_graph6(s: &str) -> Result<Graph, Graph6Error> {
+    let bytes = s.trim_end().as_bytes();
+    let mut pos = 0usize;
+    let take = |pos: &mut usize| -> Result<u64, Graph6Error> {
+        let b = *bytes.get(*pos).ok_or(Graph6Error::Truncated)?;
+        *pos += 1;
+        if !(63..=126).contains(&b) {
+            return Err(Graph6Error::BadByte(b));
+        }
+        Ok((b - 63) as u64)
+    };
+    let n: usize = {
+        let first = take(&mut pos)?;
+        if first != 63 {
+            first as usize
+        } else {
+            // 126 encodes as value 63.
+            let second = take(&mut pos)?;
+            if second != 63 {
+                let mut n = second;
+                for _ in 0..2 {
+                    n = n << 6 | take(&mut pos)?;
+                }
+                n as usize
+            } else {
+                let mut n = 0u64;
+                for _ in 0..6 {
+                    n = n << 6 | take(&mut pos)?;
+                }
+                n as usize
+            }
+        }
+    };
+    let total_bits = n * n.saturating_sub(1) / 2;
+    let mut b = GraphBuilder::new(n);
+    let mut consumed = 0usize;
+    let mut cur = 0u64;
+    let mut avail = 0u8;
+    'outer: for j in 1..n as V {
+        for i in 0..j {
+            if avail == 0 {
+                cur = take(&mut pos)?;
+                avail = 6;
+            }
+            avail -= 1;
+            if cur >> avail & 1 == 1 {
+                b.add_edge(i, j);
+            }
+            consumed += 1;
+            if consumed == total_bits {
+                break 'outer;
+            }
+        }
+    }
+    if pos != bytes.len() {
+        return Err(Graph6Error::TrailingData);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::named;
+
+    #[test]
+    fn known_strings() {
+        // Canonical examples from McKay's formats.txt and common usage.
+        assert_eq!(to_graph6(&named::complete(4)), "C~");
+        assert_eq!(to_graph6(&Graph::empty(5)), "D??");
+        assert_eq!(from_graph6("C~").unwrap(), named::complete(4));
+        let p4 = from_graph6("CF").unwrap(); // 0-1,1-2? decode & sanity
+        assert_eq!(p4.n(), 4);
+    }
+
+    #[test]
+    fn roundtrip_named_graphs() {
+        for g in [
+            named::petersen(),
+            named::fig1_example(),
+            named::frucht(),
+            named::complete_bipartite(3, 5),
+            Graph::empty(1),
+            Graph::empty(0),
+            named::star(62), // n = 63: exercises the 3-byte size header
+        ] {
+            let enc = to_graph6(&g);
+            let dec = from_graph6(&enc).expect("own encoding decodes");
+            assert_eq!(dec, g, "roundtrip failed for {enc}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_graph6("").is_err());
+        assert!(from_graph6("C").is_err()); // K4 header without bits
+        assert!(from_graph6("C~~").is_err()); // trailing data
+        assert!(from_graph6("C\u{7}").is_err()); // control byte
+    }
+
+    #[test]
+    fn large_header() {
+        let g = Graph::empty(100);
+        let enc = to_graph6(&g);
+        assert!(enc.starts_with('~'));
+        assert_eq!(from_graph6(&enc).unwrap().n(), 100);
+    }
+}

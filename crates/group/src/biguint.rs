@@ -1,0 +1,375 @@
+//! Minimal arbitrary-precision unsigned integers.
+//!
+//! Only the operations the reproduction needs: addition, multiplication,
+//! factorials/binomials, comparison, decimal and scientific formatting.
+//! Implemented from scratch (no external bignum crate) per the
+//! build-every-substrate rule; limbs are base-2³² little-endian.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign};
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian base-2³² limbs; no trailing zero limbs; empty = 0.
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a `u64`.
+    pub fn from_u64(x: u64) -> Self {
+        let mut limbs = vec![(x & 0xffff_ffff) as u32, (x >> 32) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// The value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | (self.limbs[1] as u64) << 32),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (may lose precision or overflow to infinity).
+    pub fn to_f64(&self) -> f64 {
+        self.limbs
+            .iter()
+            .rev()
+            .fold(0.0_f64, |acc, &l| acc * 4294967296.0 + l as f64)
+    }
+
+    /// `n!` as a big integer.
+    ///
+    /// ```
+    /// use dvicl_group::BigUint;
+    /// assert_eq!(BigUint::factorial(20).to_u64(), Some(2432902008176640000));
+    /// assert_eq!(BigUint::factorial(64).to_scientific(), "1.26E89");
+    /// ```
+    pub fn factorial(n: u64) -> Self {
+        let mut acc = BigUint::one();
+        for k in 2..=n {
+            acc.mul_u64_assign(k);
+        }
+        acc
+    }
+
+    /// Binomial coefficient `C(n, k)`.
+    pub fn binomial(n: u64, k: u64) -> Self {
+        if k > n {
+            return BigUint::zero();
+        }
+        let k = k.min(n - k);
+        let mut num = BigUint::one();
+        for i in 0..k {
+            num.mul_u64_assign(n - i);
+        }
+        // Divide by k! using exact small division.
+        for i in 2..=k {
+            num = num.div_u32_exact(i as u32);
+        }
+        num
+    }
+
+    /// Multiplies in place by a `u64`.
+    pub fn mul_u64_assign(&mut self, x: u64) {
+        if x == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let lo = (x & 0xffff_ffff) as u32;
+        let hi = (x >> 32) as u32;
+        if hi == 0 {
+            self.mul_u32_assign(lo);
+        } else {
+            let mut high_part = self.clone();
+            high_part.mul_u32_assign(hi);
+            high_part.shl_limbs(1);
+            self.mul_u32_assign(lo);
+            *self += &high_part;
+        }
+    }
+
+    fn mul_u32_assign(&mut self, x: u32) {
+        if x == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry: u64 = 0;
+        for l in &mut self.limbs {
+            let prod = *l as u64 * x as u64 + carry;
+            *l = (prod & 0xffff_ffff) as u32;
+            carry = prod >> 32;
+        }
+        if carry > 0 {
+            self.limbs.push(carry as u32);
+        }
+    }
+
+    fn shl_limbs(&mut self, k: usize) {
+        if !self.is_zero() {
+            let mut new = vec![0u32; k];
+            new.extend_from_slice(&self.limbs);
+            self.limbs = new;
+        }
+    }
+
+    /// Exact division by a small divisor; panics if the division leaves a
+    /// remainder (used only where exactness is guaranteed, e.g. binomials).
+    fn div_u32_exact(&self, d: u32) -> BigUint {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem: u64 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = rem << 32 | self.limbs[i] as u64;
+            out[i] = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        assert_eq!(rem, 0, "div_u32_exact called with inexact division");
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        BigUint { limbs: out }
+    }
+
+    /// Divides by 10, returning (quotient, remainder-digit). Internal
+    /// helper for decimal formatting.
+    fn divmod10(&self) -> (BigUint, u8) {
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem: u64 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = rem << 32 | self.limbs[i] as u64;
+            out[i] = (cur / 10) as u32;
+            rem = cur % 10;
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        (BigUint { limbs: out }, rem as u8)
+    }
+
+    /// Decimal string.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, d) = cur.divmod10();
+            digits.push(b'0' + d);
+            cur = q;
+        }
+        digits.reverse();
+        String::from_utf8(digits).expect("digits are ASCII")
+    }
+
+    /// The paper's table style: plain decimal when short, otherwise
+    /// `d.ddE+ee` (e.g. `8.82E15`, `7.36E88`).
+    pub fn to_scientific(&self) -> String {
+        let dec = self.to_decimal();
+        if dec.len() <= 7 {
+            return dec;
+        }
+        let exp = dec.len() - 1;
+        format!("{}.{}E{}", &dec[0..1], &dec[1..3], exp)
+    }
+
+    /// Number of decimal digits.
+    pub fn digits(&self) -> usize {
+        self.to_decimal().len()
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        self.limbs.resize(n, 0);
+        let mut carry: u64 = 0;
+        for i in 0..n {
+            let sum = self.limbs[i] as u64 + *rhs.limbs.get(i).unwrap_or(&0) as u64 + carry;
+            self.limbs[i] = (sum & 0xffff_ffff) as u32;
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            self.limbs.push(carry as u32);
+        }
+    }
+}
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out += rhs;
+        out
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u64 = 0;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = (cur & 0xffff_ffff) as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = (cur & 0xffff_ffff) as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        BigUint { limbs: out }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.limbs
+            .len()
+            .cmp(&other.limbs.len())
+            .then_with(|| self.limbs.iter().rev().cmp(other.limbs.iter().rev()))
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(x: u64) -> Self {
+        BigUint::from_u64(x)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_decimal())
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({})", self.to_decimal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_roundtrip() {
+        for x in [0u64, 1, 9, 10, 4294967295, 4294967296, u64::MAX] {
+            assert_eq!(BigUint::from_u64(x).to_u64(), Some(x));
+            assert_eq!(BigUint::from_u64(x).to_decimal(), x.to_string());
+        }
+    }
+
+    #[test]
+    fn add_with_carry() {
+        let mut a = BigUint::from_u64(u64::MAX);
+        a += &BigUint::one();
+        assert_eq!(a.to_decimal(), "18446744073709551616");
+        assert_eq!(a.to_u64(), None);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 123_456_789_012_345u64;
+        let b = 987_654_321_098u64;
+        let big = &BigUint::from_u64(a) * &BigUint::from_u64(b);
+        assert_eq!(big.to_decimal(), (a as u128 * b as u128).to_string());
+    }
+
+    #[test]
+    fn factorials() {
+        assert_eq!(BigUint::factorial(0).to_u64(), Some(1));
+        assert_eq!(BigUint::factorial(5).to_u64(), Some(120));
+        assert_eq!(BigUint::factorial(20).to_u64(), Some(2432902008176640000));
+        assert_eq!(
+            BigUint::factorial(25).to_decimal(),
+            "15511210043330985984000000"
+        );
+        assert_eq!(BigUint::factorial(100).digits(), 158);
+    }
+
+    #[test]
+    fn binomials() {
+        assert_eq!(BigUint::binomial(10, 3).to_u64(), Some(120));
+        assert_eq!(BigUint::binomial(52, 5).to_u64(), Some(2598960));
+        assert_eq!(BigUint::binomial(5, 9).to_u64(), Some(0));
+        assert_eq!(BigUint::binomial(7, 0).to_u64(), Some(1));
+        // C(100, 50) has a known value.
+        assert_eq!(
+            BigUint::binomial(100, 50).to_decimal(),
+            "100891344545564193334812497256"
+        );
+    }
+
+    #[test]
+    fn scientific_formatting() {
+        assert_eq!(BigUint::from_u64(8_820_000).to_scientific(), "8820000");
+        assert_eq!(
+            BigUint::from_u64(8_820_000_000_000_000).to_scientific(),
+            "8.82E15"
+        );
+        assert_eq!(BigUint::factorial(64).to_scientific(), "1.26E89");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(BigUint::factorial(10) < BigUint::factorial(11));
+        assert!(BigUint::from_u64(5) > BigUint::zero());
+        assert_eq!(
+            BigUint::from_u64(42).cmp(&BigUint::from_u64(42)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn to_f64_magnitude() {
+        let f = BigUint::factorial(30).to_f64();
+        assert!((f / 2.652528598e32 - 1.0).abs() < 1e-6);
+    }
+}

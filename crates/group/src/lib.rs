@@ -1,0 +1,25 @@
+//! Permutation-group machinery for the DviCL reproduction.
+//!
+//! The paper's algorithms produce the automorphism group `Aut(G, π)` as a
+//! *generating set*. This crate turns generating sets into answers:
+//!
+//! * [`Orbits`] — vertex orbits of the generated group (union-find closure),
+//!   the basis of the paper's "orbit coloring" statistics (Table 1).
+//! * [`StabChain`] — a Schreier–Sims base-and-strong-generating-set
+//!   structure giving exact group order and membership testing.
+//! * [`BigUint`] — minimal arbitrary-precision unsigned integers, because
+//!   the paper reports symmetric-set counts up to `7.36E88` (Table 6),
+//!   far beyond `u128`.
+//! * [`brute`] — brute-force automorphism/canonical-form oracles for small
+//!   graphs, used as test references throughout the workspace.
+
+#![warn(missing_docs)]
+
+mod biguint;
+pub mod brute;
+mod orbits;
+mod schreier;
+
+pub use biguint::BigUint;
+pub use orbits::Orbits;
+pub use schreier::StabChain;

@@ -1,0 +1,292 @@
+//! Worklist partition refinement over an ordered partition.
+//!
+//! The representation follows nauty's: `lab` holds the vertices in partition
+//! order, `pos` is its inverse, `cell_start[v]` is the start position of the
+//! cell containing `v` (which *is* the vertex's color under the paper's
+//! color definition), and `cell_len[s]` is the length of the cell starting
+//! at position `s` (meaningful only at start positions).
+
+use dvicl_graph::{Coloring, Graph, V};
+use std::collections::VecDeque;
+
+/// An ordered partition of `0..n` supporting splitter-based refinement.
+pub struct Partition {
+    lab: Vec<V>,
+    pos: Vec<u32>,
+    cell_start: Vec<u32>,
+    cell_len: Vec<u32>,
+    // Scratch: neighbor counts per vertex during a splitter pass.
+    cnt: Vec<u32>,
+    // Worklist of cell start positions + membership flags.
+    queue: VecDeque<u32>,
+    in_queue: Vec<bool>,
+    // Scratch: dedup flags for cells touched by the current splitter.
+    in_affected: Vec<bool>,
+    // Vertices whose cells became singletons during the current run, in
+    // creation order (isomorphism-invariant, since creation follows the
+    // invariant queue discipline).
+    new_singletons: Vec<V>,
+}
+
+#[inline]
+fn mix(h: u64, x: u64) -> u64 {
+    // A simple strong mixer (splitmix64 finalizer over h ^ x).
+    let mut z = h ^ x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Partition {
+    /// Builds the internal representation from a [`Coloring`].
+    pub fn from_coloring(n: usize, pi: &Coloring) -> Self {
+        assert_eq!(n, pi.n());
+        let mut lab = Vec::with_capacity(n);
+        let mut cell_len = vec![0u32; n];
+        for cell in pi.cells() {
+            cell_len[lab.len()] = cell.len() as u32;
+            lab.extend_from_slice(cell);
+        }
+        let mut pos = vec![0u32; n];
+        for (i, &v) in lab.iter().enumerate() {
+            pos[v as usize] = i as u32;
+        }
+        let mut cell_start = vec![0u32; n];
+        let mut s = 0usize;
+        while s < n {
+            let len = cell_len[s] as usize;
+            for i in s..s + len {
+                cell_start[lab[i] as usize] = s as u32;
+            }
+            s += len;
+        }
+        Partition {
+            lab,
+            pos,
+            cell_start,
+            cell_len,
+            cnt: vec![0; n],
+            queue: VecDeque::new(),
+            in_queue: vec![false; n],
+            in_affected: vec![false; n],
+            new_singletons: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.lab.len()
+    }
+
+    /// The color (cell start position) of `v`.
+    #[inline]
+    pub fn color_of(&self, v: V) -> u32 {
+        self.cell_start[v as usize]
+    }
+
+    /// The vertices whose cells became singletons during the last run, in
+    /// creation order.
+    pub fn new_singletons(&self) -> &[V] {
+        &self.new_singletons
+    }
+
+    /// Converts back to a [`Coloring`].
+    pub fn to_coloring(&self) -> Coloring {
+        let n = self.n();
+        let mut cells = Vec::new();
+        let mut s = 0usize;
+        while s < n {
+            let len = self.cell_len[s] as usize;
+            cells.push(self.lab[s..s + len].to_vec());
+            s += len;
+        }
+        Coloring::from_cells(cells).expect("partition is always a valid coloring")
+    }
+
+    fn enqueue(&mut self, s: u32) {
+        if !self.in_queue[s as usize] {
+            self.in_queue[s as usize] = true;
+            self.queue.push_back(s);
+        }
+    }
+
+    fn enqueue_all_cells(&mut self) {
+        let n = self.n();
+        let mut s = 0usize;
+        while s < n {
+            self.enqueue(s as u32);
+            s += self.cell_len[s] as usize;
+        }
+    }
+
+    /// Refines to the coarsest equitable partition, returning the trace
+    /// hash. All current cells are used as initial splitters; every
+    /// singleton cell of the *result* counts as newly created.
+    pub fn refine(&mut self, g: &Graph) -> u64 {
+        let n = self.n();
+        let mut s = 0usize;
+        while s < n {
+            if self.cell_len[s] == 1 {
+                self.new_singletons.push(self.lab[s]);
+            }
+            s += self.cell_len[s] as usize;
+        }
+        self.enqueue_all_cells();
+        self.run(g, 0x5ee2_c3a1_d00d_f00d)
+    }
+
+    /// Individualizes `v` (splitting it to the front of its cell) and
+    /// refines with the two fragments as seeds. Panics if `v` is already in
+    /// a singleton cell. Returns the trace hash, seeded with `v`'s color —
+    /// an isomorphism-invariant of the branching decision.
+    pub fn individualize_and_refine(&mut self, g: &Graph, v: V) -> u64 {
+        let s = self.cell_start[v as usize];
+        let len = self.cell_len[s as usize];
+        assert!(len > 1, "cannot individualize a singleton cell");
+        // Swap v to the front of its cell and split off {v}.
+        let pv = self.pos[v as usize];
+        let first = self.lab[s as usize];
+        self.lab[s as usize] = v;
+        self.lab[pv as usize] = first;
+        self.pos[v as usize] = s;
+        self.pos[first as usize] = pv;
+        self.cell_len[s as usize] = 1;
+        self.cell_len[s as usize + 1] = len - 1;
+        for i in (s + 1)..(s + len) {
+            self.cell_start[self.lab[i as usize] as usize] = s + 1;
+        }
+        self.new_singletons.push(v);
+        if len == 2 {
+            self.new_singletons.push(self.lab[s as usize + 1]);
+        }
+        self.enqueue(s);
+        self.enqueue(s + 1);
+        self.run(g, mix(0x01d1_71da_71ba_5eed, s as u64))
+    }
+
+    /// Core worklist loop. `seed` initializes the trace hash.
+    fn run(&mut self, g: &Graph, seed: u64) -> u64 {
+        let mut trace = seed;
+        while let Some(s) = self.queue.pop_front() {
+            self.in_queue[s as usize] = false;
+            trace = mix(trace, 0xA110 ^ (s as u64) << 16);
+            trace = self.split_by(g, s, trace);
+            // Early exit: a discrete partition cannot split further.
+            // (Checked cheaply: every cell len 1 iff no queue progress can
+            // help, but scanning is O(n); rely on natural termination.)
+        }
+        trace
+    }
+
+    /// Uses the cell at start `s` as a splitter; returns the updated trace.
+    fn split_by(&mut self, g: &Graph, s: u32, mut trace: u64) -> u64 {
+        let len = self.cell_len[s as usize] as usize;
+        let s = s as usize;
+        // Snapshot the splitter's members (cells can move during splitting).
+        let splitter: Vec<V> = self.lab[s..s + len].to_vec();
+        // Count neighbors in the splitter.
+        let mut touched: Vec<V> = Vec::new();
+        for &u in &splitter {
+            for &w in g.neighbors(u) {
+                if self.cnt[w as usize] == 0 {
+                    touched.push(w);
+                }
+                self.cnt[w as usize] += 1;
+            }
+        }
+        if touched.is_empty() {
+            return trace;
+        }
+        // Group the touched vertices by their cell (flag-array dedup).
+        let mut affected_cells: Vec<u32> = Vec::new();
+        for &w in &touched {
+            let c = self.cell_start[w as usize];
+            if self.cell_len[c as usize] > 1 && !self.in_affected[c as usize] {
+                self.in_affected[c as usize] = true;
+                affected_cells.push(c);
+            }
+        }
+        affected_cells.sort_unstable();
+        for &c in &affected_cells {
+            self.in_affected[c as usize] = false;
+        }
+        for c in affected_cells {
+            trace = self.split_cell(c, trace);
+        }
+        // Clear counts.
+        for &w in &touched {
+            self.cnt[w as usize] = 0;
+        }
+        trace
+    }
+
+    /// Splits the cell starting at `c` by the current `cnt` values,
+    /// fragments ordered by ascending count. Enqueues all fragments.
+    fn split_cell(&mut self, c: u32, mut trace: u64) -> u64 {
+        let c = c as usize;
+        let len = self.cell_len[c] as usize;
+        // Gather (count, vertex) and sort by count; ties keep any order
+        // (within-fragment order is immaterial — sort fully for determinism
+        // of the output representation).
+        let mut members: Vec<(u32, V)> = self.lab[c..c + len]
+            .iter()
+            .map(|&v| (self.cnt[v as usize], v))
+            .collect();
+        members.sort_unstable();
+        if members[0].0 == members[len - 1].0 {
+            return trace; // no split
+        }
+        // Hopcroft rule: if the split cell is not itself pending as a
+        // splitter, the largest fragment can stay off the worklist — the
+        // other fragments subsume its splitting power. (If it IS pending,
+        // every fragment must be queued to preserve its pending role.)
+        let cell_was_queued = self.in_queue[c];
+        let mut largest_start = u32::MAX;
+        if !cell_was_queued {
+            let mut largest_len = 0u32;
+            let mut i = 0usize;
+            while i < len {
+                let count = members[i].0;
+                let mut j = i;
+                while j < len && members[j].0 == count {
+                    j += 1;
+                }
+                if (j - i) as u32 > largest_len {
+                    largest_len = (j - i) as u32;
+                    largest_start = (c + i) as u32;
+                }
+                i = j;
+            }
+        }
+        // Rewrite the span and fix up bookkeeping per fragment.
+        let mut i = 0usize;
+        while i < len {
+            let count = members[i].0;
+            let mut j = i;
+            while j < len && members[j].0 == count {
+                j += 1;
+            }
+            let frag_start = (c + i) as u32;
+            let frag_len = (j - i) as u32;
+            for (k, &(_, v)) in members[i..j].iter().enumerate() {
+                let p = c + i + k;
+                self.lab[p] = v;
+                self.pos[v as usize] = p as u32;
+                self.cell_start[v as usize] = frag_start;
+            }
+            self.cell_len[frag_start as usize] = frag_len;
+            if frag_len == 1 {
+                self.new_singletons.push(self.lab[frag_start as usize]);
+            }
+            trace = mix(
+                trace,
+                ((frag_start as u64) << 40) ^ ((frag_len as u64) << 20) ^ count as u64,
+            );
+            if frag_start != largest_start {
+                self.enqueue(frag_start);
+            }
+            i = j;
+        }
+        trace
+    }
+}

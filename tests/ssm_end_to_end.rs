@@ -1,0 +1,172 @@
+//! End-to-end symmetric subgraph matching: SSM-AT results, counts and
+//! keys against brute force, and the SM-baseline comparison, on random and
+//! structured graphs.
+
+use dvicl::core::ssm::{count_images, enumerate_images, same_symmetry, symmetric_key, SsmIndex};
+use dvicl::core::{build_autotree, sm, AutoTree, DviclOptions};
+use dvicl::graph::{Coloring, Graph, V};
+use dvicl::group::brute;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn setup(g: &Graph) -> (AutoTree, SsmIndex) {
+    let t = build_autotree(g, &Coloring::unit(g.n()), &DviclOptions::default());
+    let i = SsmIndex::new(&t);
+    (t, i)
+}
+
+fn brute_images(g: &Graph, set: &[V]) -> BTreeSet<Vec<V>> {
+    let pi = Coloring::unit(g.n());
+    brute::automorphisms(g, &pi)
+        .iter()
+        .map(|gamma| {
+            let mut img: Vec<V> = set.iter().map(|&v| gamma.apply(v)).collect();
+            img.sort_unstable();
+            img
+        })
+        .collect()
+}
+
+fn arb_case(max_n: usize) -> impl Strategy<Value = (Graph, Vec<V>)> {
+    (3..=max_n).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(any::<u32>(), 0..24),
+            proptest::collection::vec(0..n as u32, 1..=3),
+        )
+            .prop_map(move |(raw, set)| {
+                let edges: Vec<(V, V)> = raw
+                    .iter()
+                    .map(|&x| ((x % n as u32) as V, ((x / 7919) % n as u32) as V))
+                    .collect();
+                let mut set: Vec<V> = set;
+                set.sort_unstable();
+                set.dedup();
+                (Graph::from_edges(n, &edges), set)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SSM-AT enumeration equals the brute-force image set.
+    #[test]
+    fn enumeration_is_exact((g, set) in arb_case(8)) {
+        let (t, i) = setup(&g);
+        let truth = brute_images(&g, &set);
+        let res = enumerate_images(&t, &i, &set, 100_000);
+        prop_assert!(res.complete);
+        let got: BTreeSet<Vec<V>> = res.matches.into_iter().collect();
+        prop_assert_eq!(got, truth);
+    }
+
+    /// The exact count equals the brute-force orbit size.
+    #[test]
+    fn counting_is_exact((g, set) in arb_case(8)) {
+        let (t, i) = setup(&g);
+        prop_assert_eq!(
+            count_images(&t, &i, &set).to_u64(),
+            Some(brute_images(&g, &set).len() as u64)
+        );
+    }
+
+    /// Key equality coincides with brute-force symmetry for pairs of sets.
+    #[test]
+    fn keys_are_sound_and_complete((g, s1) in arb_case(7), raw in proptest::collection::vec(any::<u32>(), 1..=3)) {
+        let n = g.n() as u32;
+        let mut s2: Vec<V> = raw.iter().map(|&x| x % n).collect();
+        s2.sort_unstable();
+        s2.dedup();
+        let (t, i) = setup(&g);
+        let truth = brute_images(&g, &s1).contains(&s2);
+        prop_assert_eq!(same_symmetry(&t, &i, &s1, &s2), truth);
+    }
+}
+
+#[test]
+fn ssm_at_agrees_with_sm_baseline() {
+    // SM (VF2) + key filtering must give exactly SSM-AT's answer.
+    for (g, query) in [
+        (dvicl::graph::named::fig1_example(), vec![0u32, 1]),
+        (dvicl::graph::named::fig3_example(), vec![3, 2, 4]),
+        (dvicl::graph::named::rary_tree(2, 3), vec![7, 3]),
+    ] {
+        let (t, i) = setup(&g);
+        let mut via_at = enumerate_images(&t, &i, &query, 100_000).matches;
+        let mut via_sm = sm::ssm_via_sm(&g, &t, &i, &query, 100_000);
+        via_at.sort();
+        via_sm.sort();
+        assert_eq!(via_at, via_sm, "disagreement on query {query:?}");
+    }
+}
+
+#[test]
+fn key_is_relabeling_covariant() {
+    // Clustering results must not depend on vertex names: the multiset of
+    // key-classes of all edges is invariant under relabeling.
+    let g = dvicl::graph::named::fig3_example();
+    let gamma =
+        dvicl::graph::Perm::from_cycles(g.n(), &[&[0, 9, 4], &[10, 12], &[11, 13]]).unwrap();
+    let h = g.permuted(&gamma);
+    let class_profile = |g: &Graph| -> Vec<usize> {
+        let (t, i) = setup(g);
+        let mut by_key: std::collections::HashMap<Vec<u8>, usize> = Default::default();
+        for (a, b) in g.edges() {
+            *by_key.entry(symmetric_key(&t, &i, &[a, b])).or_default() += 1;
+        }
+        let mut sizes: Vec<usize> = by_key.into_values().collect();
+        sizes.sort_unstable();
+        sizes
+    };
+    assert_eq!(class_profile(&g), class_profile(&h));
+}
+
+#[test]
+fn seed_set_counting_scales_to_analogs() {
+    // A twin-rich analog must admit a large number of symmetric images of
+    // a seed set placed on twin fans.
+    let g = dvicl::data::social::generate(&dvicl::data::social::SocialConfig {
+        core_n: 1000,
+        twin_fans: 50,
+        fan_size: 6,
+        tree_hubs: 0,
+        ring_pockets: 0,
+        ..Default::default()
+    });
+    let (t, i) = setup(&g);
+    // Pick one pendant twin per fan: each contributes a factor of 6.
+    let mut seeds: Vec<V> = Vec::new();
+    for v in (0..g.n() as V).rev() {
+        if g.degree(v) == 1 && seeds.len() < 10 {
+            let hub = g.neighbors(v)[0];
+            if !seeds.iter().any(|&s| g.neighbors(s)[0] == hub) {
+                seeds.push(v);
+            }
+        }
+    }
+    assert_eq!(seeds.len(), 10);
+    let count = count_images(&t, &i, &seeds);
+    // Each of the 10 seeds sits in a twin class of >= 6 members.
+    assert!(
+        count >= dvicl::group::BigUint::from_u64(6u64.pow(10)),
+        "count {count} too small"
+    );
+}
+
+#[test]
+fn colored_graphs_restrict_symmetry() {
+    let g = dvicl::graph::named::star(6);
+    // Unit colors: all leaves interchangeable → C(6,2) = 15 images.
+    let (t, i) = setup(&g);
+    assert_eq!(count_images(&t, &i, &[1, 2]).to_u64(), Some(15));
+    // Two-color leaves {1,2,3} vs {4,5,6}: only 3×3 = 9 images of a mixed
+    // pair, and C(3,2) = 3 of a same-color pair.
+    let pi = Coloring::from_cells(vec![vec![0], vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
+    let t2 = build_autotree(&g, &pi, &DviclOptions::default());
+    let i2 = SsmIndex::new(&t2);
+    assert_eq!(count_images(&t2, &i2, &[1, 4]).to_u64(), Some(9));
+    assert_eq!(count_images(&t2, &i2, &[1, 2]).to_u64(), Some(3));
+    let res = enumerate_images(&t2, &i2, &[1, 2], 100);
+    assert!(res.complete);
+    assert_eq!(res.matches.len(), 3);
+}
