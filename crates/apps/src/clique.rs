@@ -2,13 +2,24 @@
 //! (the Tomita-style algorithm family; the paper uses its authors' own
 //! solver \[22\] to produce the query cliques of Table 7).
 
+use dvicl_govern::{Budget, DviclError};
 use dvicl_graph::{Graph, V};
 
 /// Finds one maximum clique (vertices ascending).
 pub fn max_clique(g: &Graph) -> Vec<V> {
+    try_max_clique(g, &Budget::unlimited())
+        .expect("unlimited clique search cannot exceed its budget")
+}
+
+/// Budgeted [`max_clique`]: spends one work unit per branch-and-bound node
+/// and aborts with a typed error when the budget runs out — exact maximum
+/// clique is NP-hard, so unbounded runtime is the default, not the
+/// exception.
+pub fn try_max_clique(g: &Graph, budget: &Budget) -> Result<Vec<V>, DviclError> {
+    budget.check()?;
     let n = g.n();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     // Order vertices by degeneracy (smallest-last); candidates explored in
     // that order shrink the branching early.
@@ -16,9 +27,9 @@ pub fn max_clique(g: &Graph) -> Vec<V> {
     let mut best: Vec<V> = Vec::new();
     let mut current: Vec<V> = Vec::new();
     // Initial candidate set: all vertices, in degeneracy order.
-    expand(g, &order, &mut current, &mut best);
+    expand(g, &order, &mut current, &mut best, budget)?;
     best.sort_unstable();
-    best
+    Ok(best)
 }
 
 /// Smallest-last (degeneracy) vertex order.
@@ -64,19 +75,26 @@ fn degeneracy_order(g: &Graph) -> Vec<V> {
     order
 }
 
-fn expand(g: &Graph, cands: &[V], current: &mut Vec<V>, best: &mut Vec<V>) {
+fn expand(
+    g: &Graph,
+    cands: &[V],
+    current: &mut Vec<V>,
+    best: &mut Vec<V>,
+    budget: &Budget,
+) -> Result<(), DviclError> {
+    budget.spend(1)?;
     if cands.is_empty() {
         if current.len() > best.len() {
             *best = current.clone();
         }
-        return;
+        return Ok(());
     }
     // Greedy coloring bound: candidates are colored so adjacent ones get
     // different colors; current.len() + #colors bounds any clique below.
     let colors = greedy_color(g, cands);
     let maxcolor = colors.iter().copied().max().unwrap_or(0);
     if current.len() + (maxcolor as usize) < best.len() {
-        return;
+        return Ok(());
     }
     // Explore candidates in descending color (Tomita's order).
     let mut idx: Vec<usize> = (0..cands.len()).collect();
@@ -93,10 +111,11 @@ fn expand(g: &Graph, cands: &[V], current: &mut Vec<V>, best: &mut Vec<V>) {
             .filter(|&w| w != v && g.has_edge(v, w))
             .collect();
         current.push(v);
-        expand(g, &next, current, best);
+        expand(g, &next, current, best, budget)?;
         current.pop();
         remaining.retain(|&w| w != v);
     }
+    Ok(())
 }
 
 /// Greedy proper coloring of the candidate set (induced), returning each
@@ -118,14 +137,27 @@ fn greedy_color(g: &Graph, cands: &[V]) -> Vec<u32> {
 /// All maximum cliques up to `limit`, given the maximum clique size is
 /// already known (used for Table 7: clustering the maximum cliques).
 pub fn all_max_cliques(g: &Graph, size: usize, limit: usize) -> Vec<Vec<V>> {
+    try_all_max_cliques(g, size, limit, &Budget::unlimited())
+        .expect("unlimited clique enumeration cannot exceed its budget")
+}
+
+/// Budgeted [`all_max_cliques`]: spends one work unit per enumeration node.
+pub fn try_all_max_cliques(
+    g: &Graph,
+    size: usize,
+    limit: usize,
+    budget: &Budget,
+) -> Result<Vec<Vec<V>>, DviclError> {
+    budget.check()?;
     let mut out = Vec::new();
     let order = degeneracy_order(g);
     let mut current = Vec::new();
-    enumerate(g, &order, size, &mut current, &mut out, limit);
+    enumerate(g, &order, size, &mut current, &mut out, limit, budget)?;
     out.sort();
-    out
+    Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn enumerate(
     g: &Graph,
     cands: &[V],
@@ -133,40 +165,42 @@ fn enumerate(
     current: &mut Vec<V>,
     out: &mut Vec<Vec<V>>,
     limit: usize,
-) {
+    budget: &Budget,
+) -> Result<(), DviclError> {
+    budget.spend(1)?;
     if out.len() >= limit {
-        return;
+        return Ok(());
     }
     if current.len() == size {
         let mut c = current.clone();
         c.sort_unstable();
         out.push(c);
-        return;
+        return Ok(());
     }
     if current.len() + cands.len() < size {
-        return;
+        return Ok(());
     }
     let colors = greedy_color(g, cands);
     let maxcolor = colors.iter().copied().max().unwrap_or(0);
     if current.len() + maxcolor as usize + 1 < size {
-        return;
+        return Ok(());
     }
     let mut remaining: Vec<V> = cands.to_vec();
-    for (i, &v) in cands.iter().enumerate() {
-        let _ = i;
+    for &v in cands.iter() {
         let next: Vec<V> = remaining
             .iter()
             .copied()
             .filter(|&w| w != v && g.has_edge(v, w))
             .collect();
         current.push(v);
-        enumerate(g, &next, size, current, out, limit);
+        enumerate(g, &next, size, current, out, limit, budget)?;
         current.pop();
         remaining.retain(|&w| w != v);
         if out.len() >= limit {
-            return;
+            return Ok(());
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -220,6 +254,27 @@ mod tests {
         let g = named::complete(8);
         let all = all_max_cliques(&g, 3, 5);
         assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn work_budget_aborts_branch_and_bound() {
+        use dvicl_govern::{DviclError, Resource};
+        let g = named::complete(12);
+        let err = try_max_clique(&g, &Budget::with_max_work(3)).unwrap_err();
+        assert!(matches!(
+            err,
+            DviclError::BudgetExceeded {
+                resource: Resource::WorkUnits,
+                ..
+            }
+        ));
+        assert_eq!(err.exit_code(), 3);
+        // A generous budget gets the exact answer.
+        let c = try_max_clique(&g, &Budget::with_max_work(1_000_000)).unwrap();
+        assert_eq!(c.len(), 12);
+        // Enumeration honors the budget too.
+        let err = try_all_max_cliques(&g, 3, 1000, &Budget::with_max_work(3)).unwrap_err();
+        assert!(err.is_exhaustion());
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! of mutually symmetric sets using AutoTree keys — two sets land in one
 //! cluster iff some automorphism of `G` maps one onto the other.
 
-use dvicl_core::ssm::{symmetric_key, SsmIndex};
+use dvicl_core::ssm::{symmetric_key, try_symmetric_key, SsmIndex};
 use dvicl_core::AutoTree;
+use dvicl_govern::{Budget, DviclError};
 use dvicl_graph::V;
 use rustc_hash::FxHashMap;
 
@@ -38,6 +39,31 @@ pub fn cluster_by_symmetry<S: AsRef<[V]>>(
         clusters: by_key.len(),
         max_cluster: by_key.values().copied().max().unwrap_or(0),
     }
+}
+
+/// Budgeted [`cluster_by_symmetry`]: each set's key computation draws from
+/// the shared budget (one unit per AutoTree node visited), so a huge family
+/// on a deep tree aborts with a typed error instead of running away.
+pub fn try_cluster_by_symmetry<S: AsRef<[V]>>(
+    tree: &AutoTree,
+    index: &SsmIndex,
+    sets: impl IntoIterator<Item = S>,
+    budget: &Budget,
+) -> Result<Clustering, DviclError> {
+    budget.check()?;
+    let mut by_key: FxHashMap<Vec<u8>, usize> = FxHashMap::default();
+    let mut total = 0usize;
+    for set in sets {
+        total += 1;
+        *by_key
+            .entry(try_symmetric_key(tree, index, set.as_ref(), budget)?)
+            .or_default() += 1;
+    }
+    Ok(Clustering {
+        total,
+        clusters: by_key.len(),
+        max_cluster: by_key.values().copied().max().unwrap_or(0),
+    })
 }
 
 #[cfg(test)]
@@ -88,6 +114,30 @@ mod tests {
         assert_eq!(c.total, 18);
         assert_eq!(c.clusters, 18);
         assert_eq!(c.max_cluster, 1);
+    }
+
+    #[test]
+    fn budget_aborts_clustering_mid_family() {
+        let g = named::fig1_example();
+        let (t, i) = setup(&g);
+        let tris = list_triangles(&g, usize::MAX);
+        let err = try_cluster_by_symmetry(
+            &t,
+            &i,
+            tris.iter().map(|t| t.as_slice()),
+            &Budget::with_max_work(2),
+        )
+        .unwrap_err();
+        assert!(err.is_exhaustion());
+        // With room to breathe the result matches the infallible path.
+        let ok = try_cluster_by_symmetry(
+            &t,
+            &i,
+            tris.iter().map(|t| t.as_slice()),
+            &Budget::with_max_work(1_000_000),
+        )
+        .unwrap();
+        assert_eq!(ok, cluster_by_symmetry(&t, &i, tris.iter().map(|t| t.as_slice())));
     }
 
     #[test]

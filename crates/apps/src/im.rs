@@ -7,6 +7,7 @@
 //! accelerated with CELF's lazy evaluation — without PMC's sketch pruning
 //! (a pure-speed device). Table 6 only consumes the selected seed set.
 
+use dvicl_govern::{Budget, DviclError};
 use dvicl_graph::{Graph, V};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -34,6 +35,19 @@ impl Default for IcConfig {
 
 /// Estimates the expected spread `σ(S)` of a seed set by Monte-Carlo BFS.
 pub fn spread(g: &Graph, seeds: &[V], cfg: &IcConfig) -> f64 {
+    try_spread(g, seeds, cfg, &Budget::unlimited())
+        .expect("unlimited spread estimation cannot exceed its budget")
+}
+
+/// Budgeted [`spread`]: spends one work unit per activated vertex popped
+/// from the BFS frontier, across all Monte-Carlo rounds.
+pub fn try_spread(
+    g: &Graph,
+    seeds: &[V],
+    cfg: &IcConfig,
+    budget: &Budget,
+) -> Result<f64, DviclError> {
+    budget.check()?;
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let n = g.n();
     let mut activated = vec![u32::MAX; n];
@@ -51,6 +65,7 @@ pub fn spread(g: &Graph, seeds: &[V], cfg: &IcConfig) -> f64 {
         }
         let mut head = 0;
         while head < frontier.len() {
+            budget.spend(1)?;
             let v = frontier[head];
             head += 1;
             for &w in g.neighbors(v) {
@@ -63,7 +78,7 @@ pub fn spread(g: &Graph, seeds: &[V], cfg: &IcConfig) -> f64 {
         }
         total += count;
     }
-    total as f64 / cfg.rounds as f64
+    Ok(total as f64 / cfg.rounds as f64)
 }
 
 /// Greedy seed selection with CELF lazy evaluation: picks `k` seeds whose
@@ -81,9 +96,34 @@ pub fn select_seeds(g: &Graph, k: usize, cfg: &IcConfig) -> Vec<V> {
 
 /// [`select_seeds`] with an explicit candidate-pool size.
 pub fn select_seeds_pruned(g: &Graph, k: usize, cfg: &IcConfig, max_candidates: usize) -> Vec<V> {
+    try_select_seeds_pruned(g, k, cfg, max_candidates, &Budget::unlimited())
+        .expect("unlimited seed selection cannot exceed its budget")
+}
+
+/// Budgeted [`select_seeds`].
+pub fn try_select_seeds(
+    g: &Graph,
+    k: usize,
+    cfg: &IcConfig,
+    budget: &Budget,
+) -> Result<Vec<V>, DviclError> {
+    try_select_seeds_pruned(g, k, cfg, 2000, budget)
+}
+
+/// Budgeted [`select_seeds_pruned`]: every CELF re-evaluation draws its
+/// Monte-Carlo BFS work from the shared budget, so the whole selection —
+/// not each individual estimate — is bounded.
+pub fn try_select_seeds_pruned(
+    g: &Graph,
+    k: usize,
+    cfg: &IcConfig,
+    max_candidates: usize,
+    budget: &Budget,
+) -> Result<Vec<V>, DviclError> {
+    budget.check()?;
     let n = g.n();
     if n == 0 || k == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let k = k.min(n);
     let mut candidates: Vec<V> = (0..n as V).collect();
@@ -109,10 +149,10 @@ pub fn select_seeds_pruned(g: &Graph, k: usize, cfg: &IcConfig, max_candidates: 
         // Re-evaluate the marginal gain of v against the current seeds.
         let mut with_v: Vec<V> = seeds.clone();
         with_v.push(v);
-        let gain = to_fixed((spread(g, &with_v, cfg) - base_spread).max(0.0));
+        let gain = to_fixed((try_spread(g, &with_v, cfg, budget)? - base_spread).max(0.0));
         heap.push((gain, v, iteration));
     }
-    seeds
+    Ok(seeds)
 }
 
 #[cfg(test)]
@@ -181,6 +221,20 @@ mod tests {
         let s5 = select_seeds(&g, 5, &cfg);
         let s10 = select_seeds(&g, 10, &cfg);
         assert_eq!(s5.as_slice(), &s10[..5]);
+    }
+
+    #[test]
+    fn work_budget_aborts_selection() {
+        let g = named::star(20);
+        let cfg = IcConfig {
+            prob: 0.5,
+            rounds: 200,
+            seed: 3,
+        };
+        let err = try_select_seeds(&g, 2, &cfg, &Budget::with_max_work(5)).unwrap_err();
+        assert!(err.is_exhaustion());
+        let seeds = try_select_seeds(&g, 1, &cfg, &Budget::with_max_work(10_000_000)).unwrap();
+        assert_eq!(seeds, vec![0]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Triangle listing in degree order (the classic compact-forward scheme):
 //! each triangle is reported exactly once.
 
+use dvicl_govern::{Budget, DviclError};
 use dvicl_graph::{Graph, V};
 
 /// Counts all triangles.
@@ -13,6 +14,17 @@ pub fn count_triangles(g: &Graph) -> u64 {
     count
 }
 
+/// Budgeted [`count_triangles`]: spends one work unit per oriented edge
+/// whose out-neighborhoods are intersected.
+pub fn try_count_triangles(g: &Graph, budget: &Budget) -> Result<u64, DviclError> {
+    let mut count = 0u64;
+    try_for_each_triangle(g, budget, |_, _, _| {
+        count += 1;
+        true
+    })?;
+    Ok(count)
+}
+
 /// Lists up to `limit` triangles as ascending triples.
 pub fn list_triangles(g: &Graph, limit: usize) -> Vec<[V; 3]> {
     let mut out = Vec::new();
@@ -23,9 +35,36 @@ pub fn list_triangles(g: &Graph, limit: usize) -> Vec<[V; 3]> {
     out
 }
 
+/// Budgeted [`list_triangles`].
+pub fn try_list_triangles(
+    g: &Graph,
+    limit: usize,
+    budget: &Budget,
+) -> Result<Vec<[V; 3]>, DviclError> {
+    let mut out = Vec::new();
+    try_for_each_triangle(g, budget, |a, b, c| {
+        out.push([a, b, c]);
+        out.len() < limit
+    })?;
+    Ok(out)
+}
+
 /// Visits each triangle `(a < b < c)` once; the callback returns `false`
 /// to stop early.
-pub fn for_each_triangle(g: &Graph, mut f: impl FnMut(V, V, V) -> bool) {
+pub fn for_each_triangle(g: &Graph, f: impl FnMut(V, V, V) -> bool) {
+    // Infallible enumeration cannot exhaust the unlimited budget.
+    let _ = try_for_each_triangle(g, &Budget::unlimited(), f);
+}
+
+/// Budgeted [`for_each_triangle`]: spends one work unit per oriented edge
+/// `(u, v)` before intersecting the two out-neighborhoods — the unit of
+/// work that dominates compact-forward's runtime.
+pub fn try_for_each_triangle(
+    g: &Graph,
+    budget: &Budget,
+    mut f: impl FnMut(V, V, V) -> bool,
+) -> Result<(), DviclError> {
+    budget.check()?;
     let n = g.n();
     // Rank by (degree, id): orienting edges toward higher rank makes every
     // vertex's out-neighborhood small (O(sqrt(m)) amortized).
@@ -49,6 +88,7 @@ pub fn for_each_triangle(g: &Graph, mut f: impl FnMut(V, V, V) -> bool) {
     for u in 0..n as V {
         let ou = &out[u as usize];
         for &v in ou {
+            budget.spend(1)?;
             let ov = &out[v as usize];
             // Intersect out[u] ∩ out[v] (both sorted by id).
             let (mut i, mut j) = (0, 0);
@@ -61,7 +101,7 @@ pub fn for_each_triangle(g: &Graph, mut f: impl FnMut(V, V, V) -> bool) {
                         let mut t = [u, v, w];
                         t.sort_unstable();
                         if !f(t[0], t[1], t[2]) {
-                            return;
+                            return Ok(());
                         }
                         i += 1;
                         j += 1;
@@ -70,6 +110,7 @@ pub fn for_each_triangle(g: &Graph, mut f: impl FnMut(V, V, V) -> bool) {
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -110,5 +151,15 @@ mod tests {
     fn limit_stops_early() {
         let g = named::complete(10); // 120 triangles
         assert_eq!(list_triangles(&g, 7).len(), 7);
+    }
+
+    #[test]
+    fn work_budget_aborts_listing() {
+        let g = named::complete(10); // 45 edges to orient
+        let err = try_count_triangles(&g, &Budget::with_max_work(4)).unwrap_err();
+        assert!(err.is_exhaustion());
+        assert_eq!(err.exit_code(), 3);
+        let n = try_count_triangles(&g, &Budget::with_max_work(1_000_000)).unwrap();
+        assert_eq!(n, 120);
     }
 }

@@ -3,7 +3,7 @@
 //! simplification (§6.1), and the baseline's node invariant on/off.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dvicl_canon::{canonical_form, Config, SearchLimits, TargetCell};
+use dvicl_canon::{canonical_form, Config, TargetCell};
 use dvicl_core::{build_autotree, simplify, DviclOptions};
 use dvicl_graph::{Coloring, Graph};
 
@@ -73,7 +73,6 @@ fn bench_invariant(c: &mut Criterion) {
             b.iter(|| canonical_form(g, &pi, &config).form);
         });
     }
-    let _ = SearchLimits::default();
     group.finish();
 }
 

@@ -2,8 +2,9 @@
 //! versus DviCL+X on representative datasets.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dvicl_canon::{try_canonical_form, Config, SearchLimits};
+use dvicl_canon::{try_canonical_form, Config};
 use dvicl_core::{build_autotree, DviclOptions};
+use dvicl_govern::Budget;
 use dvicl_graph::{Coloring, Graph};
 use std::time::Duration;
 
@@ -38,7 +39,7 @@ fn bench_canon(c: &mut Criterion) {
                         g,
                         &pi,
                         &Config::bliss_like(),
-                        SearchLimits::with_time(Duration::from_secs(30)),
+                        &Budget::with_deadline(Duration::from_secs(30)),
                     )
                     .map(|r| r.form)
                     .ok()

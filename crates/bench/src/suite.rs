@@ -1,7 +1,8 @@
 //! Shared helpers for the table binaries.
 
-use dvicl_canon::{try_canonical_form, Config, SearchLimits};
+use dvicl_canon::{try_canonical_form, Config};
 use dvicl_core::{try_build_autotree, AutoTree, DviclOptions};
+use dvicl_govern::Budget;
 use dvicl_graph::{Coloring, Graph};
 use std::time::{Duration, Instant};
 
@@ -59,8 +60,8 @@ pub fn run_baseline(g: &Graph, config: &Config) -> Run {
     crate::alloc::reset_peak();
     let before = crate::alloc::live_bytes();
     let t0 = Instant::now();
-    let limits = SearchLimits::with_time(budget());
-    let result = try_canonical_form(g, &Coloring::unit(g.n()), config, limits);
+    let limits = Budget::with_deadline(budget());
+    let result = try_canonical_form(g, &Coloring::unit(g.n()), config, &limits);
     let secs = t0.elapsed().as_secs_f64();
     Run {
         secs: result.ok().map(|_| secs),
@@ -77,10 +78,9 @@ pub fn run_dvicl(g: &Graph, config: &Config) -> (Run, Option<AutoTree>) {
     let t0 = Instant::now();
     let opts = DviclOptions {
         leaf_config: config.clone(),
-        leaf_limits: SearchLimits::with_time(budget()),
         ..DviclOptions::default()
     };
-    let tree = try_build_autotree(g, &Coloring::unit(g.n()), &opts).ok();
+    let tree = try_build_autotree(g, &Coloring::unit(g.n()), &opts, &Budget::with_deadline(budget())).ok();
     let secs = t0.elapsed().as_secs_f64();
     (
         Run {

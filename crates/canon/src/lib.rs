@@ -25,4 +25,8 @@
 mod search;
 pub mod tree;
 
-pub use search::{automorphism_group, canonical_form, try_canonical_form, CanonResult, Config, GroupResult, LimitExceeded, SearchLimits, SearchStats, TargetCell};
+pub use dvicl_govern::{Budget, CancelToken, DviclError};
+pub use search::{
+    automorphism_group, canonical_form, try_canonical_form, CanonResult, Config, GroupResult,
+    SearchStats, TargetCell,
+};

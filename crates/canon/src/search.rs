@@ -1,9 +1,10 @@
 //! The backtrack search over the individualization-refinement tree.
 
 use crate::tree::{NodeRecord, SearchTree};
+use dvicl_govern::{Budget, DviclError};
 use dvicl_graph::{CanonForm, Coloring, Graph, Perm, V};
 use dvicl_group::Orbits;
-use dvicl_refine::{refine, refine_individualized};
+use dvicl_refine::{try_refine, try_refine_individualized};
 use std::cmp::Ordering;
 
 /// Target cell selector `T` (Section 4): which non-singleton cell of the
@@ -97,26 +98,6 @@ impl Default for Config {
     }
 }
 
-/// Resource limits for a search (the harness's stand-in for the paper's
-/// two-hour wall-clock budget).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct SearchLimits {
-    /// Abort after visiting this many tree nodes (`None` = unlimited).
-    pub max_nodes: Option<u64>,
-    /// Abort after this much wall-clock time (`None` = unlimited).
-    pub max_time: Option<std::time::Duration>,
-}
-
-impl SearchLimits {
-    /// A wall-clock budget.
-    pub fn with_time(d: std::time::Duration) -> Self {
-        SearchLimits {
-            max_nodes: None,
-            max_time: Some(d),
-        }
-    }
-}
-
 /// Search statistics (tree size, pruning effectiveness).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SearchStats {
@@ -152,18 +133,6 @@ pub struct CanonResult {
     /// The recorded search tree, if `Config::record_tree` was set.
     pub tree: Option<SearchTree>,
 }
-
-/// Error returned when [`SearchLimits`] were exceeded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LimitExceeded;
-
-impl std::fmt::Display for LimitExceeded {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "IR search node limit exceeded")
-    }
-}
-
-impl std::error::Error for LimitExceeded {}
 
 #[inline]
 fn mix(h: u64, x: u64) -> u64 {
@@ -212,8 +181,8 @@ fn quotient_hash(g: &Graph, pi: &Coloring) -> u64 {
 /// );
 /// ```
 pub fn canonical_form(g: &Graph, pi: &Coloring, config: &Config) -> CanonResult {
-    try_canonical_form(g, pi, config, SearchLimits::default())
-        .expect("unlimited search cannot exceed limits")
+    try_canonical_form(g, pi, config, &Budget::unlimited())
+        .expect("unlimited search cannot exceed its budget")
 }
 
 /// The automorphism group of `(g, pi)` — generators, orbits and search
@@ -227,11 +196,11 @@ pub fn automorphism_group(
     g: &Graph,
     pi: &Coloring,
     config: &Config,
-    limits: SearchLimits,
-) -> Result<GroupResult, LimitExceeded> {
+    budget: &Budget,
+) -> Result<GroupResult, DviclError> {
     let mut config = config.clone();
     config.group_only = true;
-    let r = try_canonical_form(g, pi, &config, limits)?;
+    let r = try_canonical_form(g, pi, &config, budget)?;
     Ok(GroupResult {
         generators: r.generators,
         orbits: r.orbits,
@@ -249,20 +218,31 @@ pub struct GroupResult {
     pub stats: SearchStats,
 }
 
-/// Canonically labels `(g, pi)`, aborting if `limits` are exceeded.
+/// Canonically labels `(g, pi)`, aborting with a typed error when the
+/// budget runs out or its cancel token fires. One work unit is spent per
+/// search-tree node and per refinement splitter, so short deadlines are
+/// honoured even on graphs whose single refinement is expensive.
 pub fn try_canonical_form(
     g: &Graph,
     pi: &Coloring,
     config: &Config,
-    limits: SearchLimits,
-) -> Result<CanonResult, LimitExceeded> {
-    assert_eq!(g.n(), pi.n(), "graph/coloring size mismatch");
+    budget: &Budget,
+) -> Result<CanonResult, DviclError> {
+    if g.n() != pi.n() {
+        return Err(DviclError::invalid(format!(
+            "graph has {} vertices but the coloring covers {}",
+            g.n(),
+            pi.n()
+        )));
+    }
+    // An already-expired deadline or a pre-cancelled token must fail even
+    // on graphs small enough to finish inside the first clock stride.
+    budget.check()?;
     let mut s = Search {
         g,
         pi0: pi,
         config: config.clone(),
-        limits,
-        started: std::time::Instant::now(),
+        budget,
         first_path: Vec::new(),
         first_leaf: None,
         first_seq: Vec::new(),
@@ -289,7 +269,7 @@ pub fn try_canonical_form(
             tree: s.tree,
         });
     }
-    let root = refine(g, pi);
+    let root = try_refine(g, pi, budget)?;
     let root_inv = mix(root.trace, quotient_hash(g, &root.coloring));
     let mut fixed: Vec<V> = Vec::new();
     s.dfs(&root.coloring, root_inv, 0, true, Ordering::Equal, None, &mut fixed)?;
@@ -308,8 +288,7 @@ struct Search<'a> {
     g: &'a Graph,
     pi0: &'a Coloring,
     config: Config,
-    limits: SearchLimits,
-    started: std::time::Instant,
+    budget: &'a Budget,
     /// Invariant sequence along the leftmost path (the reference node).
     first_path: Vec<u64>,
     first_leaf: Option<(CanonForm, Perm)>,
@@ -348,19 +327,10 @@ impl<'a> Search<'a> {
         mut best_cmp: Ordering,
         parent_edge: Option<(usize, V)>,
         fixed: &mut Vec<V>,
-    ) -> Result<(), LimitExceeded> {
+    ) -> Result<(), DviclError> {
         self.stats.nodes += 1;
         self.stats.max_depth = self.stats.max_depth.max(depth);
-        if let Some(limit) = self.limits.max_nodes {
-            if self.stats.nodes > limit {
-                return Err(LimitExceeded);
-            }
-        }
-        if let Some(budget) = self.limits.max_time {
-            if self.started.elapsed() > budget {
-                return Err(LimitExceeded);
-            }
-        }
+        self.budget.spend(1)?;
         let node_id = self.record_node(pi, depth, parent_edge);
         let d = depth as usize;
 
@@ -445,7 +415,7 @@ impl<'a> Search<'a> {
                 }
             }
             processed.push(v);
-            let child = refine_individualized(self.g, pi, v);
+            let child = try_refine_individualized(self.g, pi, v, self.budget)?;
             let child_inv = mix(child.trace, quotient_hash(self.g, &child.coloring));
             fixed.push(v);
             let r = self.dfs(
@@ -478,7 +448,7 @@ impl<'a> Search<'a> {
         on_first: bool,
         best_cmp: Ordering,
         fixed: &[V],
-    ) -> Result<(), LimitExceeded> {
+    ) -> Result<(), DviclError> {
         self.stats.leaves += 1;
         let lambda = pi
             .to_perm()
@@ -678,18 +648,45 @@ mod tests {
     }
 
     #[test]
-    fn node_limit_aborts() {
+    fn work_budget_aborts() {
         // The 4x4 rook's graph-ish torus has a big search tree relative to
-        // a 2-node budget.
+        // a 2-unit work budget.
         let g = named::torus2(4, 4);
         let pi = Coloring::unit(g.n());
-        let r = try_canonical_form(
-            &g,
-            &pi,
-            &Config::bliss_like(),
-            SearchLimits { max_nodes: Some(2), max_time: None },
-        );
-        assert!(r.is_err());
+        let r = try_canonical_form(&g, &pi, &Config::bliss_like(), &Budget::with_max_work(2));
+        assert!(matches!(
+            r,
+            Err(DviclError::BudgetExceeded {
+                resource: dvicl_govern::Resource::WorkUnits,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_aborts() {
+        let g = named::torus2(4, 4);
+        let pi = Coloring::unit(g.n());
+        let budget = Budget::with_deadline(std::time::Duration::from_nanos(1));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let r = try_canonical_form(&g, &pi, &Config::bliss_like(), &budget);
+        assert!(matches!(
+            r,
+            Err(DviclError::BudgetExceeded {
+                resource: dvicl_govern::Resource::WallClock,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn cancellation_aborts() {
+        let g = named::torus2(4, 4);
+        let pi = Coloring::unit(g.n());
+        let budget = Budget::new(None, None);
+        budget.cancel_token().cancel();
+        let r = try_canonical_form(&g, &pi, &Config::bliss_like(), &budget);
+        assert_eq!(r.err(), Some(DviclError::Cancelled));
     }
 
     #[test]

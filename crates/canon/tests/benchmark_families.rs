@@ -3,7 +3,7 @@
 //! find the full automorphism group, including on the refinement-defeating
 //! CFI instances.
 
-use dvicl_canon::{canonical_form, try_canonical_form, Config, SearchLimits};
+use dvicl_canon::{canonical_form, try_canonical_form, Budget, Config};
 use dvicl_data::bench_graphs;
 use dvicl_graph::{Coloring, Graph, Perm, V};
 use dvicl_group::StabChain;
@@ -111,7 +111,7 @@ fn budget_is_respected_quickly() {
         &g,
         &Coloring::unit(g.n()),
         &Config::nauty_like(),
-        SearchLimits::with_time(std::time::Duration::from_millis(300)),
+        &Budget::with_deadline(std::time::Duration::from_millis(300)),
     );
     // Either it finished fast or it aborted close to the deadline.
     if r.is_err() {
@@ -130,7 +130,7 @@ fn group_only_mode_matches_full_search() {
     ] {
         let pi = Coloring::unit(g.n());
         let full = canonical_form(&g, &pi, &Config::bliss_like());
-        let group = automorphism_group(&g, &pi, &Config::bliss_like(), SearchLimits::default())
+        let group = automorphism_group(&g, &pi, &Config::bliss_like(), &Budget::unlimited())
             .expect("no limits set");
         // Same group order (node counts can differ in either direction:
         // the full search also harvests automorphisms from best-certificate
@@ -152,7 +152,7 @@ fn group_only_on_geometric_graphs() {
     let g = bench_graphs::ag2(7);
     let pi = Coloring::unit(g.n());
     let full = canonical_form(&g, &pi, &Config::bliss_like());
-    let group = automorphism_group(&g, &pi, &Config::bliss_like(), SearchLimits::default())
+    let group = automorphism_group(&g, &pi, &Config::bliss_like(), &Budget::unlimited())
         .expect("no limits");
     assert_eq!(
         StabChain::new(g.n(), &group.generators).order(),

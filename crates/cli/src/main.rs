@@ -13,52 +13,150 @@
 //! dvicl convert <GRAPH>             edge list <-> graph6
 //! ```
 //!
-//! `<GRAPH>` is an edge-list file path, `-` for stdin, or `g6:<string>`
-//! for an inline graph6 literal.
+//! `<GRAPH>` is an edge-list file path, `-` for stdin (readable at most
+//! once per invocation), or `g6:<string>` for an inline graph6 literal.
+//!
+//! Every subcommand accepts `--timeout <DUR>` (e.g. `100ms`, `5s`, `2m`)
+//! and `--max-nodes <N>`, which govern the whole run under one shared
+//! budget. Exit codes: 0 success, 2 bad input or usage, 3 budget
+//! exceeded. When `--max-nodes` stops the divide-and-conquer build, the
+//! run degrades to whole-graph labeling (still correct, noted on stderr)
+//! instead of failing.
 
-use dvicl_core::ssm::{count_images, enumerate_images, SsmIndex};
-use dvicl_core::{aut, build_autotree, iso, ksym, DviclOptions};
+use dvicl_core::ssm::{try_count_images, try_enumerate_images, SsmIndex};
+use dvicl_core::{aut, build_autotree_resilient, iso, ksym, AutoTree, DviclOptions};
+use dvicl_govern::{parse_duration, Budget, DviclError};
 use dvicl_graph::{graph6, io as gio, Coloring, Graph, V};
 use std::io::Read;
 use std::process::ExitCode;
 
+/// Writes a line to stdout, exiting quietly with status 0 when the
+/// consumer closed the pipe early — `dvicl aut G | head` is a normal
+/// way to use the tool, not a panic.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+/// [`outln!`] without the trailing newline.
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        if write!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+/// Streams `g` as an edge list to stdout. A consumer closing the pipe
+/// early ends the program quietly (status 0); other I/O errors map into
+/// the typed taxonomy.
+fn emit_edge_list(g: &Graph) -> Result<(), DviclError> {
+    match gio::write_edge_list(std::io::stdout(), g) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(e) => Err(DviclError::invalid(format!("writing edge list: {e}"))),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let (args, budget) = match global_flags(args) {
+        Ok(split) => split,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(e.exit_code());
+        }
+    };
+    match run(&args, &budget) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{}", usage());
-            ExitCode::FAILURE
+            ExitCode::from(2)
+        }
+        Err(CliError::Lib(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
 fn usage() -> &'static str {
-    "usage:\n  dvicl canon    <GRAPH>\n  dvicl aut      <GRAPH>\n  dvicl iso      <GRAPH> <GRAPH>\n  dvicl tree     <GRAPH> [--render]\n  dvicl ssm      <GRAPH> <v,v,...> [--limit N]\n  dvicl ksym     <GRAPH> <k>\n  dvicl quotient <GRAPH>\n  dvicl dataset  <NAME>\n  dvicl convert  <GRAPH>\n\nGRAPH: edge-list path, '-' for stdin, or g6:<graph6-literal>"
+    "usage:\n  dvicl canon    <GRAPH>\n  dvicl aut      <GRAPH>\n  dvicl iso      <GRAPH> <GRAPH>\n  dvicl tree     <GRAPH> [--render]\n  dvicl ssm      <GRAPH> <v,v,...> [--limit N]\n  dvicl ksym     <GRAPH> <k>\n  dvicl quotient <GRAPH>\n  dvicl dataset  <NAME>\n  dvicl convert  <GRAPH>\n\nGRAPH: edge-list path, '-' for stdin (at most once), or g6:<graph6-literal>\n\nglobal flags (any subcommand):\n  --timeout <DUR>    wall-clock budget (100ms, 5s, 2m, ...)\n  --max-nodes <N>    work budget in search/build nodes\n\nexit codes: 0 ok, 2 bad input, 3 budget exceeded"
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let cmd = args.first().ok_or("missing subcommand")?;
-    match cmd.as_str() {
-        "canon" => canon(arg(args, 1)?),
-        "aut" => automorphisms(arg(args, 1)?),
-        "iso" => isomorphic(arg(args, 1)?, arg(args, 2)?),
-        "tree" => tree(arg(args, 1)?, args.iter().any(|a| a == "--render")),
-        "ssm" => ssm(arg(args, 1)?, arg(args, 2)?, flag_value(args, "--limit")),
-        "ksym" => ksym_cmd(arg(args, 1)?, arg(args, 2)?),
-        "quotient" => quotient_cmd(arg(args, 1)?),
-        "dataset" => dataset(arg(args, 1)?),
-        "convert" => convert(arg(args, 1)?),
-        other => Err(format!("unknown subcommand `{other}`")),
+/// A CLI failure: either a usage mistake (print the help text, exit 2)
+/// or a typed library error (exit via [`DviclError::exit_code`]).
+enum CliError {
+    Usage(String),
+    Lib(DviclError),
+}
+
+impl From<DviclError> for CliError {
+    fn from(e: DviclError) -> Self {
+        CliError::Lib(e)
     }
 }
 
-fn arg(args: &[String], i: usize) -> Result<&str, String> {
+/// Strips `--timeout`/`--max-nodes` (valid anywhere on the line) and
+/// builds the run's shared budget from them.
+fn global_flags(args: Vec<String>) -> Result<(Vec<String>, Budget), DviclError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut timeout = None;
+    let mut max_nodes = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--timeout" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| DviclError::invalid("--timeout needs a duration"))?;
+                timeout = Some(parse_duration(&v)?);
+            }
+            "--max-nodes" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| DviclError::invalid("--max-nodes needs a count"))?;
+                max_nodes = Some(v.parse::<u64>().map_err(|_| {
+                    DviclError::invalid(format!("--max-nodes: not a count: {v:?}"))
+                })?);
+            }
+            _ => rest.push(a),
+        }
+    }
+    Ok((rest, Budget::new(timeout, max_nodes)))
+}
+
+fn run(args: &[String], budget: &Budget) -> Result<(), CliError> {
+    let cmd = args
+        .first()
+        .ok_or_else(|| CliError::Usage("missing subcommand".into()))?;
+    let mut loader = Loader::default();
+    let ld = &mut loader;
+    match cmd.as_str() {
+        "canon" => canon(ld, arg(args, 1)?, budget),
+        "aut" => automorphisms(ld, arg(args, 1)?, budget),
+        "iso" => isomorphic(ld, arg(args, 1)?, arg(args, 2)?, budget),
+        "tree" => tree(ld, arg(args, 1)?, args.iter().any(|a| a == "--render"), budget),
+        "ssm" => ssm(ld, arg(args, 1)?, arg(args, 2)?, flag_value(args, "--limit"), budget),
+        "ksym" => ksym_cmd(ld, arg(args, 1)?, arg(args, 2)?, budget),
+        "quotient" => quotient_cmd(ld, arg(args, 1)?, budget),
+        "dataset" => dataset(arg(args, 1)?),
+        "convert" => convert(ld, arg(args, 1)?, budget),
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+fn arg(args: &[String], i: usize) -> Result<&str, CliError> {
     args.get(i)
         .map(|s| s.as_str())
-        .ok_or_else(|| format!("missing argument #{i}"))
+        .ok_or_else(|| CliError::Usage(format!("missing argument #{i}")))
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<usize> {
@@ -68,22 +166,39 @@ fn flag_value(args: &[String], flag: &str) -> Option<usize> {
         .and_then(|v| v.parse().ok())
 }
 
-fn load(spec: &str) -> Result<Graph, String> {
-    if let Some(g6) = spec.strip_prefix("g6:") {
-        return graph6::from_graph6(g6).map_err(|e| e.to_string());
-    }
-    if spec == "-" {
-        let mut buf = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buf)
-            .map_err(|e| e.to_string())?;
-        return load_text(&buf);
-    }
-    let text = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
-    load_text(&text)
+/// Loads graph arguments, reading stdin at most once per process: a
+/// second `-` is a typed error, not a silent empty graph.
+#[derive(Default)]
+struct Loader {
+    stdin_used: bool,
 }
 
-fn load_text(text: &str) -> Result<Graph, String> {
+impl Loader {
+    fn load(&mut self, spec: &str) -> Result<Graph, DviclError> {
+        if let Some(g6) = spec.strip_prefix("g6:") {
+            return graph6::from_graph6(g6);
+        }
+        if spec == "-" {
+            if self.stdin_used {
+                return Err(DviclError::invalid(
+                    "stdin (`-`) was already consumed by an earlier argument; \
+                     pass the second graph as a file or g6:<literal>",
+                ));
+            }
+            self.stdin_used = true;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| DviclError::invalid(format!("reading stdin: {e}")))?;
+            return load_text(&buf);
+        }
+        let text = std::fs::read_to_string(spec)
+            .map_err(|e| DviclError::invalid(format!("{spec}: {e}")))?;
+        load_text(&text)
+    }
+}
+
+fn load_text(text: &str) -> Result<Graph, DviclError> {
     // Heuristic: a single token without whitespace separators on the first
     // non-comment line is graph6; otherwise an edge list.
     let first = text
@@ -91,75 +206,77 @@ fn load_text(text: &str) -> Result<Graph, String> {
         .find(|l| !l.trim().is_empty() && !l.starts_with('#') && !l.starts_with('%'));
     match first {
         Some(line) if !line.trim().contains(char::is_whitespace) => {
-            graph6::from_graph6(line.trim()).map_err(|e| e.to_string())
+            graph6::from_graph6(line.trim())
         }
-        _ => gio::read_edge_list(text.as_bytes())
-            .map(|l| l.graph)
-            .map_err(|e| e.to_string()),
+        _ => gio::read_edge_list(text.as_bytes()).map(|l| l.graph),
     }
 }
 
-fn build(g: &Graph) -> dvicl_core::AutoTree {
+fn build(g: &Graph, budget: &Budget) -> Result<AutoTree, DviclError> {
     // traces-like leaves: the robust configuration on regular graphs.
     let opts = DviclOptions {
         leaf_config: dvicl_canon::Config::traces_like(),
         ..DviclOptions::default()
     };
-    build_autotree(g, &Coloring::unit(g.n()), &opts)
+    let outcome = build_autotree_resilient(g, &Coloring::unit(g.n()), &opts, budget)?;
+    if outcome.degraded {
+        eprintln!("note: node budget exhausted; degraded to whole-graph labeling");
+    }
+    Ok(outcome.tree)
 }
 
-fn canon(spec: &str) -> Result<(), String> {
-    let g = load(spec)?;
-    let tree = build(&g);
+fn canon(ld: &mut Loader, spec: &str, budget: &Budget) -> Result<(), CliError> {
+    let g = ld.load(spec)?;
+    let tree = build(&g, budget)?;
     let labeling = tree.canonical_labeling();
     let canonical = g.permuted(&labeling);
-    println!("n: {}  m: {}", g.n(), g.m());
-    println!("certificate (canonical graph6): {}", graph6::to_graph6(&canonical));
-    println!("canonical labeling: {labeling}");
+    outln!("n: {}  m: {}", g.n(), g.m());
+    outln!("certificate (canonical graph6): {}", graph6::to_graph6(&canonical));
+    outln!("canonical labeling: {labeling}");
     Ok(())
 }
 
-fn automorphisms(spec: &str) -> Result<(), String> {
-    let g = load(spec)?;
-    let tree = build(&g);
-    println!("|Aut(G)| = {}", aut::group_order(&tree));
+fn automorphisms(ld: &mut Loader, spec: &str, budget: &Budget) -> Result<(), CliError> {
+    let g = ld.load(spec)?;
+    let tree = build(&g, budget)?;
+    outln!("|Aut(G)| = {}", aut::group_order(&tree));
     let mut orbits = aut::orbits(&tree);
-    println!(
+    outln!(
         "orbits: {} ({} singletons)",
         orbits.count(),
         orbits.count_singletons()
     );
     let gens = aut::generators(&tree);
-    println!("generators ({}):", gens.len());
+    outln!("generators ({}):", gens.len());
     for gen in gens.iter().take(50) {
-        println!("  {gen}");
+        outln!("  {gen}");
     }
     if gens.len() > 50 {
-        println!("  ... {} more", gens.len() - 50);
+        outln!("  ... {} more", gens.len() - 50);
     }
     Ok(())
 }
 
-fn isomorphic(a: &str, b: &str) -> Result<(), String> {
-    let (ga, gb) = (load(a)?, load(b)?);
-    match iso::find_isomorphism(&ga, &gb) {
+fn isomorphic(ld: &mut Loader, a: &str, b: &str, budget: &Budget) -> Result<(), CliError> {
+    let (ga, gb) = (ld.load(a)?, ld.load(b)?);
+    match iso::try_find_isomorphism(&ga, &gb, budget)? {
         Some(gamma) => {
-            println!("isomorphic: yes");
-            println!("mapping: {gamma}");
+            outln!("isomorphic: yes");
+            outln!("mapping: {gamma}");
             Ok(())
         }
         None => {
-            println!("isomorphic: no");
+            outln!("isomorphic: no");
             Ok(())
         }
     }
 }
 
-fn tree(spec: &str, render: bool) -> Result<(), String> {
-    let g = load(spec)?;
-    let t = build(&g);
+fn tree(ld: &mut Loader, spec: &str, render: bool, budget: &Budget) -> Result<(), CliError> {
+    let g = ld.load(spec)?;
+    let t = build(&g, budget)?;
     let s = t.stats();
-    println!(
+    outln!(
         "nodes: {}  singleton leaves: {}  non-singleton leaves: {} (avg size {:.2}, max {})  depth: {}",
         s.total_nodes,
         s.singleton_leaves,
@@ -169,51 +286,67 @@ fn tree(spec: &str, render: bool) -> Result<(), String> {
         s.depth
     );
     if render {
-        print!("{}", t.render());
+        out!("{}", t.render());
     }
     Ok(())
 }
 
-fn ssm(spec: &str, set: &str, limit: Option<usize>) -> Result<(), String> {
-    let g = load(spec)?;
+fn ssm(
+    ld: &mut Loader,
+    spec: &str,
+    set: &str,
+    limit: Option<usize>,
+    budget: &Budget,
+) -> Result<(), CliError> {
+    let g = ld.load(spec)?;
     let set: Vec<V> = set
         .split(',')
-        .map(|t| t.trim().parse::<V>().map_err(|e| e.to_string()))
+        .map(|t| {
+            t.trim()
+                .parse::<V>()
+                .map_err(|_| DviclError::invalid(format!("not a vertex id: {t:?}")))
+        })
         .collect::<Result<_, _>>()?;
-    let tree = build(&g);
+    let tree = build(&g, budget)?;
     let index = SsmIndex::new(&tree);
-    println!("images under Aut(G): {}", count_images(&tree, &index, &set).to_scientific());
+    outln!(
+        "images under Aut(G): {}",
+        try_count_images(&tree, &index, &set, budget)?.to_scientific()
+    );
     let limit = limit.unwrap_or(20);
-    let res = enumerate_images(&tree, &index, &set, limit);
-    println!(
+    let res = try_enumerate_images(&tree, &index, &set, limit, budget)?;
+    outln!(
         "first {} matches{}:",
         res.matches.len(),
-        if res.complete { " (complete)" } else { "" }
+        if res.truncated { "" } else { " (complete)" }
     );
     for m in &res.matches {
-        println!("  {m:?}");
+        outln!("  {m:?}");
     }
     Ok(())
 }
 
-fn ksym_cmd(spec: &str, k: &str) -> Result<(), String> {
-    let g = load(spec)?;
-    let k: usize = k.parse().map_err(|_| "k must be a positive integer")?;
-    let tree = build(&g);
-    let (g2, stats) = ksym::k_symmetric_extension(&g, &tree, k);
+fn ksym_cmd(ld: &mut Loader, spec: &str, k: &str, budget: &Budget) -> Result<(), CliError> {
+    let g = ld.load(spec)?;
+    let k: usize = k
+        .parse()
+        .map_err(|_| DviclError::invalid(format!("k must be a positive integer, got {k:?}")))?;
+    let tree = build(&g, budget)?;
+    let (g2, stats) = ksym::try_k_symmetric_extension(&g, &tree, k, budget)?;
     eprintln!(
         "k={k}: +{} vertices, +{} edges ({} classes duplicated)",
         stats.added_vertices, stats.added_edges, stats.duplicated_classes
     );
-    gio::write_edge_list(std::io::stdout(), &g2).map_err(|e| e.to_string())
+    emit_edge_list(&g2)?;
+    Ok(())
 }
 
-fn quotient_cmd(spec: &str) -> Result<(), String> {
-    let g = load(spec)?;
-    let tree = build(&g);
+fn quotient_cmd(ld: &mut Loader, spec: &str, budget: &Budget) -> Result<(), CliError> {
+    let g = ld.load(spec)?;
+    let tree = build(&g, budget)?;
     let q = dvicl_apps::quotient::quotient(&g, &tree);
     let e = dvicl_apps::quotient::structure_entropy(&g, &tree);
-    println!(
+    outln!(
         "G: n = {}, m = {}   quotient: n = {}, m = {}   entropy = {e:.4}",
         g.n(),
         g.m(),
@@ -223,17 +356,17 @@ fn quotient_cmd(spec: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn dataset(name: &str) -> Result<(), String> {
+fn dataset(name: &str) -> Result<(), CliError> {
     let all = dvicl_data::social_suite()
         .into_iter()
         .chain(dvicl_data::benchmark_suite());
     for d in all {
         if d.name.eq_ignore_ascii_case(name) {
             let g = (d.build)();
-            return gio::write_edge_list(std::io::stdout(), &g).map_err(|e| e.to_string());
+            return emit_edge_list(&g).map_err(CliError::from);
         }
     }
-    Err(format!(
+    Err(DviclError::invalid(format!(
         "unknown dataset `{name}`; known: {}",
         dvicl_data::social_suite()
             .iter()
@@ -242,14 +375,17 @@ fn dataset(name: &str) -> Result<(), String> {
             .collect::<Vec<_>>()
             .join(", ")
     ))
+    .into())
 }
 
-fn convert(spec: &str) -> Result<(), String> {
-    let g = load(spec)?;
+fn convert(ld: &mut Loader, spec: &str, budget: &Budget) -> Result<(), CliError> {
+    budget.check()?;
+    let g = ld.load(spec)?;
     if spec.starts_with("g6:") {
-        gio::write_edge_list(std::io::stdout(), &g).map_err(|e| e.to_string())
+        emit_edge_list(&g)?;
+        Ok(())
     } else {
-        println!("{}", graph6::to_graph6(&g));
+        outln!("{}", graph6::to_graph6(&g));
         Ok(())
     }
 }

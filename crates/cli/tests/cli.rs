@@ -114,6 +114,92 @@ fn convert_roundtrip() {
 }
 
 #[test]
+fn second_stdin_read_is_a_clear_error() {
+    // `iso - -` used to silently read an empty second graph; now the
+    // second `-` must fail with a typed message and exit code 2.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dvicl"))
+        .args(["iso", "-", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"0 1\n1 2\n2 0\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("stdin") && stderr.contains("already consumed"),
+        "stderr must explain the double stdin read, got: {stderr}"
+    );
+}
+
+#[test]
+fn timeout_exits_3_within_twice_the_deadline() {
+    use std::time::{Duration, Instant};
+    // A CFI instance over a cubic circulant: hard enough that the
+    // unbudgeted debug-build run takes seconds, so a 300 ms deadline is
+    // guaranteed to fire mid-search.
+    let base = dvicl_data::bench_graphs::cubic_circulant(200);
+    let hard = dvicl_data::bench_graphs::cfi(&base, false);
+    let path = std::env::temp_dir().join(format!("dvicl-hard-{}.g6", std::process::id()));
+    std::fs::write(&path, dvicl_graph::graph6::to_graph6(&hard)).unwrap();
+    let t0 = Instant::now();
+    let out = Command::new(env!("CARGO_BIN_EXE_dvicl"))
+        .args(["canon", "--timeout", "300ms", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let elapsed = t0.elapsed();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(3), "budget exhaustion must exit 3");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("budget exceeded"), "got: {stderr}");
+    assert!(
+        elapsed < Duration::from_millis(600),
+        "a 300 ms deadline must abort within ~2x, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn max_nodes_degrades_gracefully() {
+    // A node budget far too small for the divided build: the run must
+    // still succeed (whole-graph fallback), note the degradation on
+    // stderr, and print a certificate.
+    let out = Command::new(env!("CARGO_BIN_EXE_dvicl"))
+        .args(["canon", "--max-nodes", "2", "g6:IheA@GUAo"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("degraded"), "got: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("n: 10  m: 15"));
+    assert!(stdout.contains("certificate (canonical graph6):"));
+}
+
+#[test]
+fn malformed_input_exits_2() {
+    let (_, stderr, _) = dvicl(&["canon", "g6:C"]); // truncated graph6
+    let out = Command::new(env!("CARGO_BIN_EXE_dvicl"))
+        .args(["canon", "g6:C"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr.contains("parse error"), "got: {stderr}");
+    // Bad flag values are input errors too.
+    let out = Command::new(env!("CARGO_BIN_EXE_dvicl"))
+        .args(["canon", "--timeout", "banana", "g6:C~"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn quotient_of_petersen_collapses() {
     let (stdout, _, ok) = dvicl(&["quotient", "g6:IheA@GUAo"]);
     assert!(ok);

@@ -4,12 +4,16 @@
 
 use crate::sub::Sub;
 use crate::tree::{AutoTree, Node, NodeId, NodeKind};
-use dvicl_canon::{try_canonical_form as ir_try_canonical_form, Config, LimitExceeded, SearchLimits};
+use dvicl_canon::{try_canonical_form as ir_try_canonical_form, Config};
+use dvicl_govern::{Budget, DviclError, Resource};
 use dvicl_graph::{CanonForm, Coloring, Graph, V};
-use dvicl_refine::refine;
+use dvicl_refine::try_refine;
 use rustc_hash::FxHashMap;
 
-/// Options for the DviCL run.
+/// Options for the DviCL run. Resource limits are *not* options: they
+/// are carried by the [`Budget`] passed to [`try_build_autotree`], one
+/// global allowance covering the whole recursion and every leaf-labeler
+/// call inside it.
 #[derive(Clone, Debug)]
 pub struct DviclOptions {
     /// The IR engine configuration used for non-singleton leaves — the `X`
@@ -18,9 +22,6 @@ pub struct DviclOptions {
     /// Apply `DivideS` (clique / complete-bipartite edge removal). Turning
     /// this off is the ablation benchmarked in `dvicl-bench`.
     pub use_divide_s: bool,
-    /// Resource budget for each leaf-labeler invocation (benchmark graphs
-    /// can be a single huge leaf). Unlimited by default.
-    pub leaf_limits: SearchLimits,
 }
 
 impl Default for DviclOptions {
@@ -28,7 +29,6 @@ impl Default for DviclOptions {
         DviclOptions {
             leaf_config: Config::bliss_like(),
             use_divide_s: true,
-            leaf_limits: SearchLimits::default(),
         }
     }
 }
@@ -50,21 +50,117 @@ impl Default for DviclOptions {
 /// assert_eq!(aut::group_order(&tree).to_u64(), Some(48));
 /// ```
 pub fn build_autotree(g: &Graph, pi0: &Coloring, opts: &DviclOptions) -> AutoTree {
-    try_build_autotree(g, pi0, opts).expect("an unlimited build cannot exceed its budget")
+    assert_eq!(g.n(), pi0.n(), "graph/coloring size mismatch");
+    try_build_autotree(g, pi0, opts, &Budget::unlimited())
+        .expect("an unlimited build cannot exceed its budget")
 }
 
-/// Fallible variant of [`build_autotree`]: aborts with [`LimitExceeded`]
-/// when a leaf-labeler invocation blows `opts.leaf_limits`.
+/// Fallible variant of [`build_autotree`]: `budget` is one *global*
+/// allowance covering the whole divide-and-conquer recursion, every
+/// leaf-labeler invocation inside it, and the refinement loops those
+/// run — not a per-leaf limit. Aborts with
+/// [`DviclError::BudgetExceeded`] or [`DviclError::Cancelled`].
+///
+/// For a build that survives work-budget exhaustion by degrading to
+/// whole-graph IR labeling, see [`build_autotree_resilient`].
 pub fn try_build_autotree(
     g: &Graph,
     pi0: &Coloring,
     opts: &DviclOptions,
-) -> Result<AutoTree, LimitExceeded> {
-    assert_eq!(g.n(), pi0.n(), "graph/coloring size mismatch");
-    let pi = refine(g, pi0).coloring;
+    budget: &Budget,
+) -> Result<AutoTree, DviclError> {
+    if g.n() != pi0.n() {
+        return Err(DviclError::invalid(format!(
+            "graph has {} vertices but the coloring covers {}",
+            g.n(),
+            pi0.n()
+        )));
+    }
+    budget.check()?;
+    let pi = try_refine(g, pi0, budget)?.coloring;
+    run_build(g, pi, opts, budget, false)
+}
+
+/// A built AutoTree together with how it was obtained.
+pub struct BuildOutcome {
+    /// The tree.
+    pub tree: AutoTree,
+    /// True when the divide-and-conquer build ran out of its *work*
+    /// budget and the tree is the whole-graph IR fallback: a single
+    /// leaf, still a correct canonical form, just computed without
+    /// divide-and-conquer savings. Degraded and non-degraded
+    /// certificates of the same graph are **not** comparable — compare
+    /// like with like (see `try_are_isomorphic`).
+    pub degraded: bool,
+}
+
+/// Budgeted build with graceful degradation: when the divide-and-conquer
+/// recursion exhausts the budget's *work cap*, the graph is re-labeled
+/// as one whole-graph IR leaf under the same deadline and cancel token
+/// (but no work cap) instead of failing. Wall-clock exhaustion and
+/// cancellation still abort — a deadline is a promise to the caller,
+/// while a work cap is a heuristic on divide effectiveness.
+pub fn build_autotree_resilient(
+    g: &Graph,
+    pi0: &Coloring,
+    opts: &DviclOptions,
+    budget: &Budget,
+) -> Result<BuildOutcome, DviclError> {
+    match try_build_autotree(g, pi0, opts, budget) {
+        Ok(tree) => Ok(BuildOutcome {
+            tree,
+            degraded: false,
+        }),
+        Err(DviclError::BudgetExceeded {
+            resource: Resource::WorkUnits,
+            ..
+        }) => {
+            let tree = build_autotree_whole_leaf(g, pi0, opts, &budget.without_work_limit())?;
+            Ok(BuildOutcome {
+                tree,
+                degraded: true,
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Builds the degraded-mode tree directly: no divide rules, the whole
+/// graph labeled as one IR leaf. This is what
+/// [`build_autotree_resilient`] falls back to; it is public so callers
+/// that must compare certificates across runs (e.g. isomorphism checks
+/// where only one side degraded) can force both sides into the same
+/// labeling mode.
+pub fn build_autotree_whole_leaf(
+    g: &Graph,
+    pi0: &Coloring,
+    opts: &DviclOptions,
+    budget: &Budget,
+) -> Result<AutoTree, DviclError> {
+    if g.n() != pi0.n() {
+        return Err(DviclError::invalid(format!(
+            "graph has {} vertices but the coloring covers {}",
+            g.n(),
+            pi0.n()
+        )));
+    }
+    budget.check()?;
+    let pi = try_refine(g, pi0, budget)?.coloring;
+    run_build(g, pi, opts, budget, true)
+}
+
+fn run_build(
+    g: &Graph,
+    pi: Coloring,
+    opts: &DviclOptions,
+    budget: &Budget,
+    force_leaf: bool,
+) -> Result<AutoTree, DviclError> {
     let mut b = Builder {
         pi: pi.clone(),
         opts,
+        budget,
+        force_leaf,
         nodes: Vec::new(),
     };
     if g.n() == 0 {
@@ -98,6 +194,10 @@ pub fn try_build_autotree(
 struct Builder<'a> {
     pi: Coloring,
     opts: &'a DviclOptions,
+    budget: &'a Budget,
+    /// Degraded mode: skip every divide rule so the root becomes a
+    /// single whole-graph IR leaf.
+    force_leaf: bool,
     nodes: Vec<Node>,
 }
 
@@ -108,7 +208,8 @@ impl<'a> Builder<'a> {
         sub: Sub,
         depth: u32,
         parent: Option<NodeId>,
-    ) -> Result<NodeId, LimitExceeded> {
+    ) -> Result<NodeId, DviclError> {
+        self.budget.spend(1)?;
         let id = self.nodes.len();
         self.nodes.push(Node {
             verts: sub.verts.clone(),
@@ -136,17 +237,21 @@ impl<'a> Builder<'a> {
         }
 
         // Divide phase: components (trivial divide), then DivideI, then
-        // DivideS (Algorithm 1 lines 11–12).
-        let division = sub
-            .divide_components()
-            .or_else(|| sub.divide_i(&self.pi))
-            .or_else(|| {
-                if self.opts.use_divide_s {
-                    sub.divide_s(&self.pi)
-                } else {
-                    None
-                }
-            });
+        // DivideS (Algorithm 1 lines 11–12). Degraded mode skips the
+        // divide rules entirely — the node becomes a whole-graph IR leaf.
+        let division = if self.force_leaf {
+            None
+        } else {
+            sub.divide_components()
+                .or_else(|| sub.divide_i(&self.pi))
+                .or_else(|| {
+                    if self.opts.use_divide_s {
+                        sub.divide_s(&self.pi)
+                    } else {
+                        None
+                    }
+                })
+        };
 
         match division {
             None => self.combine_cl(id, &sub)?,
@@ -166,14 +271,9 @@ impl<'a> Builder<'a> {
     /// engine, then re-rank the vertices of each (global) cell by the IR
     /// order so symmetric leaves elsewhere in the tree get equal labels
     /// (Lemma 6.7).
-    fn combine_cl(&mut self, id: NodeId, sub: &Sub) -> Result<(), LimitExceeded> {
+    fn combine_cl(&mut self, id: NodeId, sub: &Sub) -> Result<(), DviclError> {
         let (local_g, local_pi) = sub.to_local_graph(&self.pi);
-        let res = ir_try_canonical_form(
-            &local_g,
-            &local_pi,
-            &self.opts.leaf_config,
-            self.opts.leaf_limits,
-        )?;
+        let res = ir_try_canonical_form(&local_g, &local_pi, &self.opts.leaf_config, self.budget)?;
         let mut labels = vec![0 as V; sub.n()];
         for cell in sub.cells(&self.pi) {
             let mut members = cell.members.clone();
@@ -429,6 +529,69 @@ mod tests {
         let gamma = pseudo_random_perm(20, 5);
         let t2 = tree_of(&g.permuted(&gamma));
         assert_eq!(t.canonical_form(), t2.canonical_form());
+    }
+
+    #[test]
+    fn resilient_build_degrades_under_tiny_work_budget() {
+        let g = named::fig1_example();
+        let pi = Coloring::unit(8);
+        let opts = DviclOptions::default();
+        // A 3-unit budget cannot cover root refinement plus the 7-node
+        // divided tree: the strict build must fail...
+        let strict = try_build_autotree(&g, &pi, &opts, &Budget::with_max_work(3));
+        assert!(matches!(
+            strict,
+            Err(DviclError::BudgetExceeded {
+                resource: Resource::WorkUnits,
+                ..
+            })
+        ));
+        // ...and the resilient build must fall back to one whole-graph
+        // IR leaf instead.
+        let out = build_autotree_resilient(&g, &pi, &opts, &Budget::with_max_work(3))
+            .expect("degradation absorbs work exhaustion");
+        assert!(out.degraded);
+        assert_eq!(out.tree.stats().total_nodes, 1);
+        assert_eq!(out.tree.node(out.tree.root()).kind, NodeKind::NonSingletonLeaf);
+        // The degraded certificate is still relabeling-invariant.
+        let gamma = pseudo_random_perm(8, 42);
+        let out2 = build_autotree_resilient(
+            &g.permuted(&gamma),
+            &pi,
+            &opts,
+            &Budget::with_max_work(3),
+        )
+        .expect("degradation absorbs work exhaustion");
+        assert!(out2.degraded);
+        assert_eq!(out.tree.canonical_form(), out2.tree.canonical_form());
+    }
+
+    #[test]
+    fn resilient_build_is_transparent_when_budget_suffices() {
+        let g = named::fig1_example();
+        let pi = Coloring::unit(8);
+        let out = build_autotree_resilient(&g, &pi, &DviclOptions::default(), &Budget::unlimited())
+            .expect("unlimited build succeeds");
+        assert!(!out.degraded);
+        assert_eq!(out.tree.stats().total_nodes, 7);
+        assert_eq!(out.tree.canonical_form(), tree_of(&g).canonical_form());
+    }
+
+    #[test]
+    fn resilient_build_propagates_deadline_exhaustion() {
+        // Degradation is only for work caps: a passed deadline means the
+        // caller's time promise is already broken, so the error surfaces.
+        let g = named::petersen();
+        let budget = Budget::with_deadline(std::time::Duration::from_nanos(1));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let r = build_autotree_resilient(&g, &Coloring::unit(10), &DviclOptions::default(), &budget);
+        assert!(matches!(
+            r,
+            Err(DviclError::BudgetExceeded {
+                resource: Resource::WallClock,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! (`γ₁ ∘ γ₂⁻¹`), the standard use of a canonical form the paper notes for
 //! database retrieval.
 
-use crate::build::{build_autotree, DviclOptions};
+use crate::build::{
+    build_autotree, build_autotree_resilient, build_autotree_whole_leaf, BuildOutcome,
+    DviclOptions,
+};
+use dvicl_govern::{Budget, DviclError};
 use dvicl_graph::{Coloring, Graph, Perm};
 
 /// Finds an isomorphism `γ` with `g1^γ = g2`, or `None` if the graphs are
@@ -35,6 +39,65 @@ pub fn find_isomorphism_colored(
     let gamma = t1.canonical_labeling().then(&t2.canonical_labeling().inverse());
     debug_assert_eq!(g1.permuted(&gamma), *g2, "composed labeling must realize the isomorphism");
     Some(gamma)
+}
+
+/// Budgeted [`find_isomorphism`] with graceful degradation (see
+/// [`crate::try_are_isomorphic`]): a work-cap exhaustion degrades both
+/// sides to whole-graph IR labeling instead of failing, so the mapping —
+/// composed from two labelings produced in the *same* mode — stays valid.
+pub fn try_find_isomorphism(
+    g1: &Graph,
+    g2: &Graph,
+    budget: &Budget,
+) -> Result<Option<Perm>, DviclError> {
+    try_find_isomorphism_colored(
+        g1,
+        &Coloring::unit(g1.n()),
+        g2,
+        &Coloring::unit(g2.n()),
+        budget,
+    )
+}
+
+/// Budgeted [`find_isomorphism_colored`].
+pub fn try_find_isomorphism_colored(
+    g1: &Graph,
+    pi1: &Coloring,
+    g2: &Graph,
+    pi2: &Coloring,
+    budget: &Budget,
+) -> Result<Option<Perm>, DviclError> {
+    if g1.n() != g2.n() || g1.m() != g2.m() {
+        return Ok(None);
+    }
+    let opts = DviclOptions::default();
+    let mut t1 = build_autotree_resilient(g1, pi1, &opts, budget)?;
+    let mut t2 = build_autotree_resilient(g2, pi2, &opts, budget)?;
+    if t1.degraded != t2.degraded {
+        // Certificates from a divided tree and a whole-graph leaf are not
+        // comparable; rebuild the non-degraded side in degraded mode.
+        let relaxed = budget.without_work_limit();
+        if t1.degraded {
+            t2 = BuildOutcome {
+                tree: build_autotree_whole_leaf(g2, pi2, &opts, &relaxed)?,
+                degraded: true,
+            };
+        } else {
+            t1 = BuildOutcome {
+                tree: build_autotree_whole_leaf(g1, pi1, &opts, &relaxed)?,
+                degraded: true,
+            };
+        }
+    }
+    if t1.tree.canonical_form() != t2.tree.canonical_form() {
+        return Ok(None);
+    }
+    let gamma = t1
+        .tree
+        .canonical_labeling()
+        .then(&t2.tree.canonical_labeling().inverse());
+    debug_assert_eq!(g1.permuted(&gamma), *g2, "composed labeling must realize the isomorphism");
+    Ok(Some(gamma))
 }
 
 #[cfg(test)]
@@ -78,6 +141,34 @@ mod tests {
             .expect("ends are exchangeable");
         assert_eq!(gamma.apply(0), 2); // the pinned end must map to the pinned end
         assert!(find_isomorphism_colored(&g, &pin_end, &g, &pin_mid).is_none());
+    }
+
+    #[test]
+    fn degraded_mapping_is_still_an_isomorphism() {
+        // Under a work budget far too small for the divide-and-conquer
+        // build, the extracted mapping must still realize g1 ≅ g2.
+        let g = named::petersen();
+        let gamma = Perm::from_cycles(10, &[&[0, 7], &[2, 4, 9]]).unwrap();
+        let h = g.permuted(&gamma);
+        let tight = Budget::with_max_work(2);
+        let found = try_find_isomorphism(&g, &h, &tight)
+            .expect("work exhaustion must degrade, not fail")
+            .expect("isomorphic by construction");
+        assert_eq!(g.permuted(&found), h);
+        // A non-isomorphic pair with the same vertex and edge counts (the
+        // Möbius ladder M5 is 3-regular on 10 vertices like Petersen, but
+        // has girth 4) still comes back negative when degraded.
+        let ladder = dvicl_graph::Graph::from_edges(
+            10,
+            &[
+                (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (9, 0),
+                (0, 5), (1, 6), (2, 7), (3, 8), (4, 9),
+            ],
+        );
+        assert_eq!(
+            try_find_isomorphism(&g, &ladder, &Budget::with_max_work(2)).unwrap(),
+            None
+        );
     }
 
     #[test]

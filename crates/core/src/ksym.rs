@@ -11,6 +11,7 @@
 //! what keeps the clones genuinely symmetric to their templates.
 
 use crate::tree::AutoTree;
+use dvicl_govern::{Budget, DviclError};
 use dvicl_graph::{Graph, GraphBuilder, V};
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -26,8 +27,30 @@ pub struct KSymStats {
 }
 
 /// Builds the k-symmetric extension of `g`.
+///
+/// Panics when `k == 0`; [`try_k_symmetric_extension`] is the fallible,
+/// budget-aware form.
 pub fn k_symmetric_extension(g: &Graph, tree: &AutoTree, k: usize) -> (Graph, KSymStats) {
-    assert!(k >= 1, "k must be positive");
+    try_k_symmetric_extension(g, tree, k, &Budget::unlimited())
+        .unwrap_or_else(|e| panic!("k-symmetry extension failed: {e}"))
+}
+
+/// Budgeted [`k_symmetric_extension`]: rejects `k == 0` as
+/// [`DviclError::InvalidInput`] and spends one work unit per cloned vertex
+/// (clone volume is the quantity that blows up when a class of size 1
+/// must reach a large `k`).
+pub fn try_k_symmetric_extension(
+    g: &Graph,
+    tree: &AutoTree,
+    k: usize,
+    budget: &Budget,
+) -> Result<(Graph, KSymStats), DviclError> {
+    if k == 0 {
+        return Err(DviclError::invalid(
+            "k-symmetry requires k >= 1 (every vertex needs k-1 counterparts)",
+        ));
+    }
+    budget.check()?;
     let root = tree.node(tree.root());
     let n0 = g.n();
 
@@ -36,27 +59,28 @@ pub fn k_symmetric_extension(g: &Graph, tree: &AutoTree, k: usize) -> (Graph, KS
     // disjoint copies.
     if root.children.is_empty() {
         if k == 1 || n0 == 0 {
-            return (
+            return Ok((
                 g.clone(),
                 KSymStats {
                     added_vertices: 0,
                     added_edges: 0,
                     duplicated_classes: 0,
                 },
-            );
+            ));
         }
         let mut out = g.clone();
         for _ in 1..k {
+            budget.spend(n0 as u64)?;
             out = out.disjoint_union(g);
         }
-        return (
+        return Ok((
             out,
             KSymStats {
                 added_vertices: (k - 1) * n0,
                 added_edges: (k - 1) * g.m(),
                 duplicated_classes: 1,
             },
-        );
+        ));
     }
 
     // Which root child each original vertex belongs to.
@@ -89,14 +113,14 @@ pub fn k_symmetric_extension(g: &Graph, tree: &AutoTree, k: usize) -> (Graph, KS
         }
     }
     if jobs.is_empty() {
-        return (
+        return Ok((
             g.clone(),
             KSymStats {
                 added_vertices: 0,
                 added_edges: 0,
                 duplicated_classes,
             },
-        );
+        ));
     }
 
     // Allocate clone vertex ids and record every vertex's (cell, child).
@@ -112,6 +136,7 @@ pub fn k_symmetric_extension(g: &Graph, tree: &AutoTree, k: usize) -> (Graph, KS
     let num_children = root.children.len() as u32;
     for (j, &template) in jobs.iter().enumerate() {
         let t = tree.node(template);
+        budget.spend(t.n() as u64)?;
         let child_idx = num_children + j as u32;
         let ids: Vec<V> = (0..t.n()).map(|i| next + i as V).collect();
         next += t.n() as V;
@@ -200,14 +225,14 @@ pub fn k_symmetric_extension(g: &Graph, tree: &AutoTree, k: usize) -> (Graph, KS
     }
     let out = b.build();
     let added_edges = out.m() - g.m();
-    (
+    Ok((
         out,
         KSymStats {
             added_vertices: total - n0,
             added_edges,
             duplicated_classes,
         },
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -287,6 +312,31 @@ mod tests {
         assert_eq!(stats.added_vertices, 12);
         assert_eq!(g2.n(), 24);
         assert_k_symmetric(&g2, 2);
+    }
+
+    #[test]
+    fn k0_is_a_typed_error() {
+        let g = named::path(3);
+        let t = tree_of(&g);
+        assert!(matches!(
+            try_k_symmetric_extension(&g, &t, 0, &Budget::unlimited()),
+            Err(DviclError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn clone_volume_is_budgeted() {
+        use dvicl_govern::Resource;
+        let g = named::path(5);
+        let t = tree_of(&g);
+        let err = try_k_symmetric_extension(&g, &t, 50, &Budget::with_max_work(3)).unwrap_err();
+        assert!(matches!(
+            err,
+            DviclError::BudgetExceeded {
+                resource: Resource::WorkUnits,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! against (Section 6.4 lists its drawbacks: unbounded time, candidate
 //! over-generation, non-trivial symmetry verification).
 
-use crate::ssm::{symmetric_key, SsmIndex};
+use crate::ssm::{try_symmetric_key, SsmIndex};
 use crate::tree::AutoTree;
+use dvicl_govern::{Budget, DviclError};
 use dvicl_graph::{Graph, V};
 use rustc_hash::FxHashSet;
 
@@ -12,9 +13,24 @@ use rustc_hash::FxHashSet;
 /// *sets* (deduplicated — two matchings onto the same vertex set count
 /// once, matching SSM semantics), up to `limit` results.
 pub fn enumerate_induced(g: &Graph, q: &Graph, limit: usize) -> Vec<Vec<V>> {
+    try_enumerate_induced(g, q, limit, &Budget::unlimited())
+        .expect("unlimited SM enumeration cannot exceed its budget")
+}
+
+/// Budgeted [`enumerate_induced`]: spends one work unit per VF2 search
+/// node and aborts with a typed error on exhaustion or cancellation. VF2
+/// is the paper's worst-case-unbounded baseline, which is exactly where a
+/// deadline matters most.
+pub fn try_enumerate_induced(
+    g: &Graph,
+    q: &Graph,
+    limit: usize,
+    budget: &Budget,
+) -> Result<Vec<Vec<V>>, DviclError> {
+    budget.check()?;
     let mut out: FxHashSet<Vec<V>> = FxHashSet::default();
     if q.n() == 0 || q.n() > g.n() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     // Match query vertices in descending-degree order (classic VF2-ish
     // candidate reduction).
@@ -24,10 +40,10 @@ pub fn enumerate_induced(g: &Graph, q: &Graph, limit: usize) -> Vec<Vec<V>> {
     let order = connectivity_order(q, &order);
     let mut image = vec![V::MAX; q.n()];
     let mut used = vec![false; g.n()];
-    sm_rec(g, q, &order, 0, &mut image, &mut used, &mut out, limit);
+    sm_rec(g, q, &order, 0, &mut image, &mut used, &mut out, limit, budget)?;
     let mut v: Vec<Vec<V>> = out.into_iter().collect();
     v.sort();
-    v
+    Ok(v)
 }
 
 /// Reorders so each vertex (after the first) is adjacent to an earlier one
@@ -68,15 +84,17 @@ fn sm_rec(
     used: &mut Vec<bool>,
     out: &mut FxHashSet<Vec<V>>,
     limit: usize,
-) {
+    budget: &Budget,
+) -> Result<(), DviclError> {
+    budget.spend(1)?;
     if out.len() >= limit {
-        return;
+        return Ok(());
     }
     if k == order.len() {
         let mut set: Vec<V> = image.to_vec();
         set.sort_unstable();
         out.insert(set);
-        return;
+        return Ok(());
     }
     let qv = order[k];
     // Candidates: neighbors of an already-matched neighbor when one
@@ -103,10 +121,11 @@ fn sm_rec(
         }
         image[qv as usize] = w;
         used[w as usize] = true;
-        sm_rec(g, q, order, k + 1, image, used, out, limit);
+        sm_rec(g, q, order, k + 1, image, used, out, limit, budget)?;
         used[w as usize] = false;
         image[qv as usize] = V::MAX;
     }
+    Ok(())
 }
 
 /// The SSM baseline of Section 6.4: enumerate induced matches of
@@ -119,14 +138,31 @@ pub fn ssm_via_sm(
     query: &[V],
     limit: usize,
 ) -> Vec<Vec<V>> {
+    try_ssm_via_sm(g, tree, index, query, limit, &Budget::unlimited())
+        .unwrap_or_else(|e| panic!("SSM-via-SM query failed: {e}"))
+}
+
+/// Budgeted [`ssm_via_sm`]: one budget governs both the VF2 enumeration
+/// and the per-match symmetry verification.
+pub fn try_ssm_via_sm(
+    g: &Graph,
+    tree: &AutoTree,
+    index: &SsmIndex,
+    query: &[V],
+    limit: usize,
+    budget: &Budget,
+) -> Result<Vec<Vec<V>>, DviclError> {
     let mut q_sorted: Vec<V> = query.to_vec();
     q_sorted.sort_unstable();
     let q_graph = g.induced(&q_sorted);
-    let key = symmetric_key(tree, index, &q_sorted);
-    enumerate_induced(g, &q_graph, limit)
-        .into_iter()
-        .filter(|m| symmetric_key(tree, index, m) == key)
-        .collect()
+    let key = try_symmetric_key(tree, index, &q_sorted, budget)?;
+    let mut out = Vec::new();
+    for m in try_enumerate_induced(g, &q_graph, limit, budget)? {
+        if try_symmetric_key(tree, index, &m, budget)? == key {
+            out.push(m);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -193,5 +229,23 @@ mod tests {
         // isomorphic to an edge, but not symmetric to a cycle edge).
         let raw = enumerate_induced(&g, &g.induced(&[0, 1]), 10_000);
         assert!(raw.len() > a.len());
+    }
+
+    #[test]
+    fn work_budget_aborts_vf2() {
+        use dvicl_govern::Resource;
+        let g = named::complete(8);
+        let q = named::complete(3);
+        let err = try_enumerate_induced(&g, &q, 10_000, &Budget::with_max_work(3)).unwrap_err();
+        assert!(matches!(
+            err,
+            DviclError::BudgetExceeded {
+                resource: Resource::WorkUnits,
+                ..
+            }
+        ));
+        // The same search under an ample budget still succeeds.
+        let ok = try_enumerate_induced(&g, &q, 10_000, &Budget::with_max_work(1_000_000));
+        assert_eq!(ok.unwrap().len(), 56);
     }
 }

@@ -8,16 +8,24 @@
 //!   `Aut(G, π)` (the seed-set counts of Table 6), as a [`BigUint`] because
 //!   real counts reach `10^88`.
 //! * [`enumerate_images`] — the actual matches (Algorithm 6), with a result
-//!   budget since counts are often astronomically large.
+//!   limit since counts are often astronomically large; truncated runs are
+//!   marked explicitly in [`SsmMatches::truncated`].
 //!
-//! All three walk the same recursion: a set is partitioned over a node's
-//! children; within a sibling class the per-child *patterns* (recursive
-//! keys) may be assigned to any distinct children of the class, because
-//! `Aut(g)` restricted to a class is the full wreath product
+//! Every primitive has a `try_` variant taking a [`Budget`], which meters
+//! the recursion (one work unit per tree node or orbit image) and aborts
+//! with a typed [`DviclError`] on exhaustion or cancellation. The
+//! infallible names wrap the `try_` forms with [`Budget::unlimited`] and
+//! panic on invalid query sets, preserving the historical contract.
+//!
+//! All primitives walk the same recursion: a set is partitioned over a
+//! node's children; within a sibling class the per-child *patterns*
+//! (recursive keys) may be assigned to any distinct children of the class,
+//! because `Aut(g)` restricted to a class is the full wreath product
 //! `Aut(child) ≀ S_k` (see `crate::aut`).
 
 use crate::tree::{AutoTree, NodeId, NodeKind};
-use dvicl_canon::{canonical_form as ir_canonical_form, Config};
+use dvicl_canon::{try_canonical_form as ir_try_canonical_form, Config};
+use dvicl_govern::{Budget, DviclError};
 use dvicl_graph::{Coloring, V};
 use dvicl_group::BigUint;
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -88,17 +96,22 @@ impl SsmIndex {
     }
 }
 
-fn validate_set(tree: &AutoTree, set: &[V]) -> Vec<V> {
-    assert!(!set.is_empty(), "SSM queries need a non-empty vertex set");
+fn validate_set(tree: &AutoTree, set: &[V]) -> Result<Vec<V>, DviclError> {
+    if set.is_empty() {
+        return Err(DviclError::invalid(
+            "SSM queries need a non-empty vertex set",
+        ));
+    }
     let n = tree.pi.n();
     let mut s: Vec<V> = set.to_vec();
     s.sort_unstable();
     s.dedup();
-    assert!(
-        s.iter().all(|&v| (v as usize) < n),
-        "vertex out of range in SSM query"
-    );
-    s
+    if let Some(&v) = s.iter().find(|&&v| (v as usize) >= n) {
+        return Err(DviclError::invalid(format!(
+            "SSM query vertex {v} out of range for a {n}-vertex graph"
+        )));
+    }
+    Ok(s)
 }
 
 // ---------------------------------------------------------------------
@@ -110,13 +123,31 @@ fn push_u32(buf: &mut Vec<u8>, x: u32) {
 }
 
 /// Canonical key of `set` under `Aut(G, π)`: equal keys ⇔ symmetric sets.
+///
+/// Panics on an empty or out-of-range query set; [`try_symmetric_key`] is
+/// the fallible, budget-aware form.
 pub fn symmetric_key(tree: &AutoTree, index: &SsmIndex, set: &[V]) -> Vec<u8> {
-    let set = validate_set(tree, set);
-    analyze(tree, index, tree.root(), &set).0
+    try_symmetric_key(tree, index, set, &Budget::unlimited())
+        .unwrap_or_else(|e| panic!("SSM query failed: {e}"))
+}
+
+/// Budgeted [`symmetric_key`]: rejects invalid query sets as
+/// [`DviclError::InvalidInput`] and meters the recursion against `budget`.
+pub fn try_symmetric_key(
+    tree: &AutoTree,
+    index: &SsmIndex,
+    set: &[V],
+    budget: &Budget,
+) -> Result<Vec<u8>, DviclError> {
+    let set = validate_set(tree, set)?;
+    Ok(analyze(tree, index, tree.root(), &set, budget)?.0)
 }
 
 /// Exact number of distinct images of `set` under `Aut(G, π)` (including
 /// `set` itself).
+///
+/// Panics on an empty or out-of-range query set; [`try_count_images`] is
+/// the fallible, budget-aware form.
 ///
 /// ```
 /// use dvicl_graph::{named, Coloring};
@@ -129,24 +160,65 @@ pub fn symmetric_key(tree: &AutoTree, index: &SsmIndex, set: &[V]) -> Vec<u8> {
 /// assert_eq!(count_images(&tree, &index, &[1, 2]).to_u64(), Some(10));
 /// ```
 pub fn count_images(tree: &AutoTree, index: &SsmIndex, set: &[V]) -> BigUint {
-    let set = validate_set(tree, set);
-    analyze(tree, index, tree.root(), &set).1
+    try_count_images(tree, index, set, &Budget::unlimited())
+        .unwrap_or_else(|e| panic!("SSM query failed: {e}"))
+}
+
+/// Budgeted [`count_images`].
+pub fn try_count_images(
+    tree: &AutoTree,
+    index: &SsmIndex,
+    set: &[V],
+    budget: &Budget,
+) -> Result<BigUint, DviclError> {
+    let set = validate_set(tree, set)?;
+    Ok(analyze(tree, index, tree.root(), &set, budget)?.1)
 }
 
 /// True iff some automorphism maps `a` onto `b` (as sets).
+///
+/// Panics on an empty or out-of-range query set; [`try_same_symmetry`] is
+/// the fallible, budget-aware form.
 pub fn same_symmetry(tree: &AutoTree, index: &SsmIndex, a: &[V], b: &[V]) -> bool {
-    let a = validate_set(tree, a);
-    let b = validate_set(tree, b);
-    a.len() == b.len() && (a == b || symmetric_key(tree, index, &a) == symmetric_key(tree, index, &b))
+    try_same_symmetry(tree, index, a, b, &Budget::unlimited())
+        .unwrap_or_else(|e| panic!("SSM query failed: {e}"))
+}
+
+/// Budgeted [`same_symmetry`].
+pub fn try_same_symmetry(
+    tree: &AutoTree,
+    index: &SsmIndex,
+    a: &[V],
+    b: &[V],
+    budget: &Budget,
+) -> Result<bool, DviclError> {
+    let a = validate_set(tree, a)?;
+    let b = validate_set(tree, b)?;
+    if a.len() != b.len() {
+        return Ok(false);
+    }
+    if a == b {
+        return Ok(true);
+    }
+    Ok(analyze(tree, index, tree.root(), &a, budget)?.0
+        == analyze(tree, index, tree.root(), &b, budget)?.0)
 }
 
 /// Recursive analysis: (canonical pattern key, image count) of `set` within
 /// the subgraph of `node`. `set` is sorted and entirely inside the node.
-fn analyze(tree: &AutoTree, index: &SsmIndex, node: NodeId, set: &[V]) -> (Vec<u8>, BigUint) {
+/// Spends one work unit per visited tree node.
+fn analyze(
+    tree: &AutoTree,
+    index: &SsmIndex,
+    node: NodeId,
+    set: &[V],
+    gov: &Budget,
+) -> Result<(Vec<u8>, BigUint), DviclError> {
+    gov.spend(1)?;
     let n = tree.node(node);
     match n.kind {
-        NodeKind::SingletonLeaf => (vec![0x01], BigUint::one()),
-        NodeKind::NonSingletonLeaf => analyze_leaf(tree, node, set),
+        NodeKind::SingletonLeaf => Ok((vec![0x01], BigUint::one())),
+        NodeKind::NonSingletonLeaf => analyze_leaf(tree, node, set, gov),
         NodeKind::Internal => {
             let parts = index.partition(tree, node, set);
             let mut key = Vec::new();
@@ -155,10 +227,9 @@ fn analyze(tree: &AutoTree, index: &SsmIndex, node: NodeId, set: &[V]) -> (Vec<u
             let analyzed: Vec<(u32, Vec<u8>, BigUint)> = parts
                 .into_iter()
                 .map(|(pos, child, subset)| {
-                    let (k, c) = analyze(tree, index, child, &subset);
-                    (pos, k, c)
+                    analyze(tree, index, child, &subset, gov).map(|(k, c)| (pos, k, c))
                 })
-                .collect();
+                .collect::<Result<_, _>>()?;
             for (class_idx, &(start, end)) in n.sibling_classes.iter().enumerate() {
                 let in_class: Vec<&(u32, Vec<u8>, BigUint)> = analyzed
                     .iter()
@@ -200,7 +271,7 @@ fn analyze(tree: &AutoTree, index: &SsmIndex, node: NodeId, set: &[V]) -> (Vec<u
                 }
                 let _ = t;
             }
-            (key, count)
+            Ok((key, count))
         }
     }
 }
@@ -208,7 +279,12 @@ fn analyze(tree: &AutoTree, index: &SsmIndex, node: NodeId, set: &[V]) -> (Vec<u
 /// Pattern analysis inside a non-singleton leaf: canonicalize the leaf's
 /// colored graph with set-membership folded into the colors; count the
 /// orbit of the set under the leaf's automorphism group by BFS.
-fn analyze_leaf(tree: &AutoTree, node: NodeId, set: &[V]) -> (Vec<u8>, BigUint) {
+fn analyze_leaf(
+    tree: &AutoTree,
+    node: NodeId,
+    set: &[V],
+    gov: &Budget,
+) -> Result<(Vec<u8>, BigUint), DviclError> {
     let n = tree.node(node);
     // Local graph + colors with the set distinguished.
     let verts = &n.verts;
@@ -242,7 +318,7 @@ fn analyze_leaf(tree: &AutoTree, node: NodeId, set: &[V]) -> (Vec<u8>, BigUint) 
         .map(|(i, &v)| tree.pi.color_of(v) << 1 | in_set[i] as V)
         .collect();
     let pi = Coloring::from_labels(&labels);
-    let res = ir_canonical_form(&g, &pi, &Config::bliss_like());
+    let res = ir_try_canonical_form(&g, &pi, &Config::bliss_like(), gov)?;
     let mut key = vec![0x5A];
     for &(c, m) in &res.form.colors {
         push_u32(&mut key, c);
@@ -264,20 +340,21 @@ fn analyze_leaf(tree: &AutoTree, node: NodeId, set: &[V]) -> (Vec<u8>, BigUint) 
                 .collect()
         })
         .collect();
-    let count = orbit_of_set(&local_set, &gens, None)
+    let count = orbit_of_set(&local_set, &gens, None, gov)?
         .map(|orbit| BigUint::from_u64(orbit.len() as u64))
         .expect("uncapped orbit enumeration cannot fail");
-    (key, count)
+    Ok((key, count))
 }
 
 /// BFS over set images under sparse generators; `cap` bounds the orbit size
-/// (None = unbounded). Returns the orbit as sorted sets, or `None` if the
-/// cap was hit.
+/// (None = unbounded). Returns the orbit as sorted sets, or `Ok(None)` if
+/// the cap was hit. Spends one work unit per explored image.
 fn orbit_of_set(
     start: &[u32],
     gens: &[FxHashMap<u32, u32>],
     cap: Option<usize>,
-) -> Option<Vec<Vec<u32>>> {
+    gov: &Budget,
+) -> Result<Option<Vec<Vec<u32>>>, DviclError> {
     let mut start = start.to_vec();
     start.sort_unstable();
     let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
@@ -285,6 +362,7 @@ fn orbit_of_set(
     let mut queue = vec![start];
     let mut head = 0;
     while head < queue.len() {
+        gov.spend(1)?;
         let cur = queue[head].clone();
         head += 1;
         for gen in gens {
@@ -296,14 +374,14 @@ fn orbit_of_set(
             if seen.insert(img.clone()) {
                 if let Some(c) = cap {
                     if seen.len() > c {
-                        return None;
+                        return Ok(None);
                     }
                 }
                 queue.push(img);
             }
         }
     }
-    Some(queue)
+    Ok(Some(queue))
 }
 
 // ---------------------------------------------------------------------
@@ -311,31 +389,52 @@ fn orbit_of_set(
 // ---------------------------------------------------------------------
 
 /// Result of an [`enumerate_images`] run.
+#[derive(Clone, Debug)]
 pub struct SsmMatches {
     /// Distinct images found (each sorted ascending); includes the query.
     pub matches: Vec<Vec<V>>,
-    /// True iff the enumeration completed within the budget.
-    pub complete: bool,
+    /// True iff the result limit stopped the enumeration before every
+    /// image was produced. The matches returned are still genuine images;
+    /// the set is just not exhaustive.
+    pub truncated: bool,
 }
 
 /// Enumerates the images of `set` under `Aut(G, π)` — the symmetric
 /// subgraphs of Algorithm 6 — up to `limit` results.
+///
+/// Panics on an empty or out-of-range query set; [`try_enumerate_images`]
+/// is the fallible, budget-aware form.
 pub fn enumerate_images(
     tree: &AutoTree,
     index: &SsmIndex,
     set: &[V],
     limit: usize,
 ) -> SsmMatches {
-    let set = validate_set(tree, set);
-    let mut budget = limit;
-    let matches = enum_at(tree, index, tree.root(), &set, &mut budget);
-    // The run is complete iff the true image count fits the limit (the
-    // budget accounting inside the recursion is conservative).
-    let complete = match count_images(tree, index, &set).to_u64() {
-        Some(c) => c as usize == matches.len(),
-        None => false,
+    try_enumerate_images(tree, index, set, limit, &Budget::unlimited())
+        .unwrap_or_else(|e| panic!("SSM query failed: {e}"))
+}
+
+/// Budgeted [`enumerate_images`]. The `limit` caps how many matches are
+/// returned (truncation is reported in the result, not as an error); the
+/// [`Budget`] meters the traversal itself and aborts with a typed error on
+/// exhaustion or cancellation.
+pub fn try_enumerate_images(
+    tree: &AutoTree,
+    index: &SsmIndex,
+    set: &[V],
+    limit: usize,
+    budget: &Budget,
+) -> Result<SsmMatches, DviclError> {
+    let set = validate_set(tree, set)?;
+    let mut slots = limit;
+    let matches = enum_at(tree, index, tree.root(), &set, &mut slots, budget)?;
+    // The run is truncated iff the true image count exceeds what was
+    // returned (the slot accounting inside the recursion is conservative).
+    let truncated = match analyze(tree, index, tree.root(), &set, budget)?.1.to_u64() {
+        Some(c) => c as usize != matches.len(),
+        None => true,
     };
-    SsmMatches { matches, complete }
+    Ok(SsmMatches { matches, truncated })
 }
 
 fn enum_at(
@@ -343,16 +442,18 @@ fn enum_at(
     index: &SsmIndex,
     node: NodeId,
     set: &[V],
-    budget: &mut usize,
-) -> Vec<Vec<V>> {
-    if *budget == 0 {
-        return Vec::new();
+    slots: &mut usize,
+    gov: &Budget,
+) -> Result<Vec<Vec<V>>, DviclError> {
+    gov.spend(1)?;
+    if *slots == 0 {
+        return Ok(Vec::new());
     }
     let n = tree.node(node);
     match n.kind {
         NodeKind::SingletonLeaf => {
-            *budget = budget.saturating_sub(1);
-            vec![set.to_vec()]
+            *slots = slots.saturating_sub(1);
+            Ok(vec![set.to_vec()])
         }
         NodeKind::NonSingletonLeaf => {
             let vmap: FxHashMap<V, u32> = n
@@ -367,19 +468,18 @@ fn enum_at(
                 .iter()
                 .map(|s| s.iter().map(|&(a, b)| (vmap[&a], vmap[&b])).collect())
                 .collect();
-            let orbit = orbit_of_set(&local, &gens, Some(*budget))
-                .unwrap_or_default();
+            let orbit = orbit_of_set(&local, &gens, Some(*slots), gov)?.unwrap_or_default();
             let out: Vec<Vec<V>> = orbit
                 .into_iter()
-                .take(*budget)
+                .take(*slots)
                 .map(|s| {
                     let mut g: Vec<V> = s.iter().map(|&i| n.verts[i as usize]).collect();
                     g.sort_unstable();
                     g
                 })
                 .collect();
-            *budget = budget.saturating_sub(out.len());
-            out
+            *slots = slots.saturating_sub(out.len());
+            Ok(out)
         }
         NodeKind::Internal => {
             let parts = index.partition(tree, node, set);
@@ -397,10 +497,10 @@ fn enum_at(
                 // Images of each instance inside its own child, then
                 // transferred to every child of the class.
                 // Group instances by key to avoid duplicate assignments.
-                let mut keyed: Vec<KeyedInstance> = instances
-                    .iter()
-                    .map(|inst| (analyze(tree, index, inst.1, &inst.2).0, *inst))
-                    .collect();
+                let mut keyed: Vec<KeyedInstance> = Vec::with_capacity(instances.len());
+                for inst in &instances {
+                    keyed.push((analyze(tree, index, inst.1, &inst.2, gov)?.0, *inst));
+                }
                 keyed.sort_by(|a, b| a.0.cmp(&b.0));
                 // For each run of equal keys, enumerate combinations of
                 // target children; accumulate class-level option lists.
@@ -411,8 +511,9 @@ fn enum_at(
                     index,
                     &keyed,
                     &class_children,
-                    budget,
-                );
+                    slots,
+                    gov,
+                )?;
                 per_class_options.push(class_options);
             }
             // Cartesian product across classes.
@@ -424,7 +525,7 @@ fn enum_at(
                         let mut merged = base.clone();
                         merged.extend_from_slice(opt);
                         next.push(merged);
-                        if next.len() >= *budget {
+                        if next.len() >= *slots {
                             break 'outer;
                         }
                     }
@@ -434,8 +535,8 @@ fn enum_at(
             for s in &mut acc {
                 s.sort_unstable();
             }
-            *budget = budget.saturating_sub(acc.len());
-            acc
+            *slots = slots.saturating_sub(acc.len());
+            Ok(acc)
         }
     }
 }
@@ -449,8 +550,9 @@ fn assign_and_enumerate(
     index: &SsmIndex,
     keyed: &[KeyedInstance],
     class_children: &[NodeId],
-    budget: &mut usize,
-) -> Vec<Vec<V>> {
+    slots: &mut usize,
+    gov: &Budget,
+) -> Result<Vec<Vec<V>>, DviclError> {
     // Runs of equal keys.
     let mut runs: Vec<(usize, usize)> = Vec::new();
     let mut i = 0;
@@ -476,9 +578,10 @@ fn assign_and_enumerate(
         &mut vec![false; class_children.len()],
         &mut chosen,
         &mut results,
-        budget,
-    );
-    results
+        slots,
+        gov,
+    )?;
+    Ok(results)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -492,10 +595,12 @@ fn assign_rec(
     used: &mut Vec<bool>,
     chosen: &mut Vec<(usize, usize)>,
     results: &mut Vec<Vec<V>>,
-    budget: &mut usize,
-) {
-    if results.len() >= *budget {
-        return;
+    slots: &mut usize,
+    gov: &Budget,
+) -> Result<(), DviclError> {
+    gov.spend(1)?;
+    if results.len() >= *slots {
+        return Ok(());
     }
     if run_idx == runs.len() {
         // All pattern instances placed: enumerate concrete images per
@@ -506,8 +611,8 @@ fn assign_rec(
             let (_, inst) = &keyed[start];
             let home = inst.1;
             let target = class_children[slot];
-            let mut local_budget = *budget;
-            let home_images = enum_at(tree, index, home, &inst.2, &mut local_budget);
+            let mut local_slots = *slots;
+            let home_images = enum_at(tree, index, home, &inst.2, &mut local_slots, gov)?;
             // Transfer each image to the target child.
             let images: Vec<Vec<V>> = if home == target {
                 home_images
@@ -531,18 +636,18 @@ fn assign_rec(
                     let mut merged = base.clone();
                     merged.extend_from_slice(img);
                     next.push(merged);
-                    if next.len() >= *budget {
+                    if next.len() >= *slots {
                         break;
                     }
                 }
-                if next.len() >= *budget {
+                if next.len() >= *slots {
                     break;
                 }
             }
             acc = next;
         }
         results.extend(acc);
-        return;
+        return Ok(());
     }
     // Place every instance of this run into distinct unused child slots.
     let (start, end) = runs[run_idx];
@@ -573,8 +678,8 @@ fn assign_rec(
     }
     let mut options = Vec::new();
     combos(used, 0, count, &mut Vec::new(), &mut options);
-    for slots in options {
-        for (k, &s) in slots.iter().enumerate() {
+    for picked in options {
+        for (k, &s) in picked.iter().enumerate() {
             used[s] = true;
             chosen.push((run_idx, s));
             let _ = k;
@@ -589,16 +694,18 @@ fn assign_rec(
             used,
             chosen,
             results,
-            budget,
-        );
-        for &s in &slots {
+            slots,
+            gov,
+        )?;
+        for &s in &picked {
             used[s] = false;
             chosen.pop();
         }
-        if results.len() >= *budget {
-            return;
+        if results.len() >= *slots {
+            return Ok(());
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -669,7 +776,7 @@ mod tests {
             let (t, i) = setup(&g);
             let mut truth = brute_images(&g, &set);
             let res = enumerate_images(&t, &i, &set, 10_000);
-            assert!(res.complete, "{g:?} {set:?} incomplete");
+            assert!(!res.truncated, "{g:?} {set:?} truncated");
             let mut got = res.matches.clone();
             got.sort();
             got.dedup();
@@ -714,7 +821,7 @@ mod tests {
         let query: Vec<V> = vec![3, 2, 4]; // pendant 3 - clique 2 - clique 4
         let truth = brute_images(&g, &query);
         let res = enumerate_images(&t, &i, &query, 1000);
-        assert!(res.complete);
+        assert!(!res.truncated);
         let mut got = res.matches.clone();
         got.sort();
         assert_eq!(got, truth);
@@ -725,16 +832,16 @@ mod tests {
     }
 
     #[test]
-    fn budget_truncates() {
+    fn result_limit_truncates() {
         let g = named::star(8);
         let (t, i) = setup(&g);
         // C(8,3) = 56 images of a 3-leaf subset.
         let res = enumerate_images(&t, &i, &[1, 2, 3], 10);
-        assert!(!res.complete);
+        assert!(res.truncated);
         assert!(res.matches.len() <= 10);
         assert!(!res.matches.is_empty());
         let full = enumerate_images(&t, &i, &[1, 2, 3], 100);
-        assert!(full.complete);
+        assert!(!full.truncated);
         assert_eq!(full.matches.len(), 56);
         assert_eq!(count_images(&t, &i, &[1, 2, 3]).to_u64(), Some(56));
     }
@@ -767,5 +874,36 @@ mod tests {
         let c = count_images(&t, &i, &set);
         assert_eq!(c.to_decimal(), BigUint::binomial(70, 35).to_decimal());
         assert!(c.to_u64().is_none());
+    }
+
+    #[test]
+    fn invalid_queries_are_typed_errors() {
+        let g = named::star(5);
+        let (t, i) = setup(&g);
+        let b = Budget::unlimited();
+        assert!(matches!(
+            try_count_images(&t, &i, &[], &b),
+            Err(DviclError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            try_symmetric_key(&t, &i, &[99], &b),
+            Err(DviclError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn work_budget_aborts_enumeration() {
+        use dvicl_govern::Resource;
+        let g = named::star(8);
+        let (t, i) = setup(&g);
+        let tight = Budget::with_max_work(2);
+        let err = try_enumerate_images(&t, &i, &[1, 2, 3], 1000, &tight).unwrap_err();
+        assert!(matches!(
+            err,
+            DviclError::BudgetExceeded {
+                resource: Resource::WorkUnits,
+                ..
+            }
+        ));
     }
 }

@@ -14,7 +14,6 @@ pub type NodeId = usize;
 
 /// What kind of node: the paper's three cases of Algorithm 1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeKind {
     /// A one-vertex subgraph (`g = {v}`).
     SingletonLeaf,
@@ -27,7 +26,6 @@ pub enum NodeKind {
 
 /// One node of the AutoTree.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Node {
     /// Global vertex ids of `V(g)`, ascending.
     pub verts: Vec<V>,
@@ -89,7 +87,6 @@ pub struct TreeStats {
 }
 
 /// The AutoTree `𝒜𝒯(G, π)` produced by `DviCL`.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AutoTree {
     /// The equitable root coloring `π` (after the refinement in
     /// Algorithm 1 line 1), over global vertices.

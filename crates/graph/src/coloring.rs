@@ -12,7 +12,6 @@ use std::fmt;
 /// ascending order (the internal order never affects any algorithm; it only
 /// makes output deterministic).
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Coloring {
     color: Vec<V>,
     cells: Vec<Vec<V>>,

@@ -15,7 +15,6 @@ use std::cmp::Ordering;
 /// Forms order lexicographically: first by the color runs, then by the edge
 /// list. `Ord` gives the total order the search algorithms minimize over.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CanonForm {
     /// Sorted `(color, multiplicity)` runs of the vertex color multiset.
     pub colors: Vec<(V, V)>,

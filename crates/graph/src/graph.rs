@@ -10,7 +10,6 @@ use std::fmt;
 /// Construction deduplicates parallel edges and drops self-loops, matching
 /// the paper's preprocessing of its datasets (Section 7, footnote 1).
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     offsets: Vec<usize>,
     adj: Vec<V>,

@@ -8,32 +8,18 @@
 //! triangle of the adjacency matrix in column order
 //! (`x_{0,1}, x_{0,2}, x_{1,2}, x_{0,3}, …`), packed big-endian into 6-bit
 //! groups, each `+63`.
+//!
+//! Decoding returns typed [`DviclError`]s and never panics; in particular
+//! an oversized header (a declared `n` the payload cannot possibly back)
+//! is rejected *before* any allocation proportional to `n`, so a
+//! seven-byte string cannot demand gigabytes.
 
 use crate::{Graph, GraphBuilder, V};
-use std::fmt;
+use dvicl_govern::{DviclError, ParseError, ParseErrorKind};
 
-/// Error decoding a graph6 string.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Graph6Error {
-    /// A byte outside the printable graph6 range (63..=126).
-    BadByte(u8),
-    /// The string ended before the declared adjacency bits did.
-    Truncated,
-    /// Trailing bytes after the adjacency bits.
-    TrailingData,
+fn g6_err(kind: ParseErrorKind, detail: impl Into<String>) -> DviclError {
+    DviclError::Parse(ParseError::new(kind, detail))
 }
-
-impl fmt::Display for Graph6Error {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Graph6Error::BadByte(b) => write!(f, "invalid graph6 byte {b:#04x}"),
-            Graph6Error::Truncated => write!(f, "graph6 string too short"),
-            Graph6Error::TrailingData => write!(f, "trailing bytes after graph6 data"),
-        }
-    }
-}
-
-impl std::error::Error for Graph6Error {}
 
 /// Encodes a graph as a graph6 ASCII string.
 pub fn to_graph6(g: &Graph) -> String {
@@ -70,25 +56,37 @@ pub fn to_graph6(g: &Graph) -> String {
     if bits > 0 {
         out.push((acc << (6 - bits)) + 63);
     }
-    String::from_utf8(out).expect("graph6 bytes are printable ASCII")
+    // Every pushed byte is 63..=126, i.e. printable ASCII.
+    out.into_iter().map(char::from).collect()
 }
 
 /// Decodes a graph6 ASCII string.
-pub fn from_graph6(s: &str) -> Result<Graph, Graph6Error> {
+pub fn from_graph6(s: &str) -> Result<Graph, DviclError> {
     let bytes = s.trim_end().as_bytes();
+    if bytes.is_empty() {
+        return Err(g6_err(ParseErrorKind::Empty, "empty graph6 string"));
+    }
     let mut pos = 0usize;
-    let take = |pos: &mut usize| -> Result<u64, Graph6Error> {
-        let b = *bytes.get(*pos).ok_or(Graph6Error::Truncated)?;
+    let take = |pos: &mut usize| -> Result<u64, DviclError> {
+        let b = *bytes.get(*pos).ok_or_else(|| {
+            g6_err(
+                ParseErrorKind::Truncated,
+                "graph6 string ended before the declared data",
+            )
+        })?;
         *pos += 1;
         if !(63..=126).contains(&b) {
-            return Err(Graph6Error::BadByte(b));
+            return Err(g6_err(
+                ParseErrorKind::BadByte(b),
+                "bytes must be in the printable range 63..=126",
+            ));
         }
         Ok((b - 63) as u64)
     };
-    let n: usize = {
+    let n_raw: u64 = {
         let first = take(&mut pos)?;
         if first != 63 {
-            first as usize
+            first
         } else {
             // 126 encodes as value 63.
             let second = take(&mut pos)?;
@@ -97,17 +95,46 @@ pub fn from_graph6(s: &str) -> Result<Graph, Graph6Error> {
                 for _ in 0..2 {
                     n = n << 6 | take(&mut pos)?;
                 }
-                n as usize
+                n
             } else {
                 let mut n = 0u64;
                 for _ in 0..6 {
                     n = n << 6 | take(&mut pos)?;
                 }
-                n as usize
+                n
             }
         }
     };
-    let total_bits = n * n.saturating_sub(1) / 2;
+    if n_raw > V::MAX as u64 {
+        return Err(g6_err(
+            ParseErrorKind::TooLarge,
+            format!("declared vertex count {n_raw} exceeds the supported maximum {}", V::MAX),
+        ));
+    }
+    // Before building anything sized by n, verify the payload actually
+    // carries the n(n-1)/2 adjacency bits the header promises. This is
+    // the oversized-header guard: 36 bits of header can declare a graph
+    // whose adjacency matrix alone needs petabytes.
+    let total_bits = (n_raw as u128) * (n_raw as u128).saturating_sub(1) / 2;
+    let required_bytes = total_bits.div_ceil(6);
+    let available = (bytes.len() - pos) as u128;
+    if available < required_bytes {
+        return Err(g6_err(
+            ParseErrorKind::Truncated,
+            format!(
+                "header declares {n_raw} vertices ({required_bytes} adjacency bytes) but only \
+                 {available} bytes follow"
+            ),
+        ));
+    }
+    if available > required_bytes {
+        return Err(g6_err(
+            ParseErrorKind::TrailingData,
+            format!("{} bytes after the adjacency data", available - required_bytes),
+        ));
+    }
+    let n = n_raw as usize;
+    let total_bits = total_bits as usize;
     let mut b = GraphBuilder::new(n);
     let mut consumed = 0usize;
     let mut cur = 0u64;
@@ -127,9 +154,6 @@ pub fn from_graph6(s: &str) -> Result<Graph, Graph6Error> {
                 break 'outer;
             }
         }
-    }
-    if pos != bytes.len() {
-        return Err(Graph6Error::TrailingData);
     }
     Ok(b.build())
 }
@@ -167,11 +191,42 @@ mod tests {
     }
 
     #[test]
-    fn rejects_garbage() {
-        assert!(from_graph6("").is_err());
-        assert!(from_graph6("C").is_err()); // K4 header without bits
-        assert!(from_graph6("C~~").is_err()); // trailing data
-        assert!(from_graph6("C\u{7}").is_err()); // control byte
+    fn rejects_garbage_with_typed_errors() {
+        let check = |s: &str, want: fn(&ParseErrorKind) -> bool| {
+            match from_graph6(s) {
+                Err(DviclError::Parse(p)) => assert!(want(&p.kind), "wrong kind {:?} for {s:?}", p.kind),
+                other => panic!("expected parse error for {s:?}, got {other:?}"),
+            }
+        };
+        check("", |k| matches!(k, ParseErrorKind::Empty));
+        check("C", |k| matches!(k, ParseErrorKind::Truncated)); // K4 header without bits
+        check("C~~", |k| matches!(k, ParseErrorKind::TrailingData)); // trailing data
+        check("C\u{7}", |k| matches!(k, ParseErrorKind::BadByte(7))); // control byte
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_allocation() {
+        // "~~" + 6 bytes of '~' declares n = 2^36 - 1; honoring it would
+        // allocate tens of gigabytes before noticing the missing payload.
+        let bomb = "~~~~~~~~";
+        match from_graph6(bomb) {
+            Err(DviclError::Parse(p)) => {
+                assert!(matches!(
+                    p.kind,
+                    ParseErrorKind::TooLarge | ParseErrorKind::Truncated
+                ));
+            }
+            other => panic!("header bomb must be rejected, got {other:?}"),
+        }
+        // A merely large-but-plausible header with no payload: "~WY_"
+        // declares n = 100000 and then ends. Must be Truncated, cheaply.
+        assert!(matches!(
+            from_graph6("~WY_"),
+            Err(DviclError::Parse(ParseError {
+                kind: ParseErrorKind::Truncated,
+                ..
+            }))
+        ));
     }
 
     #[test]

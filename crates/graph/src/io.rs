@@ -4,14 +4,21 @@
 //! one `u v` pair per line, `#`-prefixed comment lines ignored, whitespace
 //! separated. Vertex ids may be arbitrary (non-dense) `u64`s; they are
 //! compacted to `0..n` on read, and the mapping is returned.
+//!
+//! Reading returns typed [`DviclError`]s (never panics), with the parse
+//! failure kind and 1-based line number attached — malformed input is a
+//! recoverable condition, not a crash.
 
 use crate::{Graph, GraphBuilder, V};
+use dvicl_govern::{DviclError, ParseError, ParseErrorKind};
 use rustc_hash::FxHashMap;
 use std::io::{self, BufRead, BufWriter, Read, Write};
+use std::num::IntErrorKind;
 use std::path::Path;
 
 /// Result of reading an edge list: the compacted graph plus the original id
 /// of each compacted vertex.
+#[derive(Clone, Debug)]
 pub struct LoadedGraph {
     /// The compacted simple graph.
     pub graph: Graph,
@@ -22,7 +29,11 @@ pub struct LoadedGraph {
 /// Reads an edge list from any reader. Lines starting with `#` or `%` are
 /// comments; blank lines are skipped. Self-loops and duplicate edges are
 /// dropped (the paper's preprocessing).
-pub fn read_edge_list<R: Read>(reader: R) -> io::Result<LoadedGraph> {
+///
+/// Errors are always typed: [`DviclError::Parse`] for malformed content
+/// (truncated line, non-numeric token, overflowing id, no data at all) and
+/// [`DviclError::InvalidInput`] for underlying reader failures.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, DviclError> {
     let mut ids: FxHashMap<u64, V> = FxHashMap::default();
     let mut original_ids: Vec<u64> = Vec::new();
     let mut edges: Vec<(V, V)> = Vec::new();
@@ -34,23 +45,35 @@ pub fn read_edge_list<R: Read>(reader: R) -> io::Result<LoadedGraph> {
         })
     };
     let buf = io::BufReader::new(reader);
+    let mut saw_data = false;
     for (lineno, line) in buf.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(|e| DviclError::invalid(format!("read failed: {e}")))?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
             continue;
         }
+        saw_data = true;
         let mut it = line.split_whitespace();
-        let parse = |tok: Option<&str>| -> io::Result<u64> {
-            tok.ok_or_else(|| bad_line(lineno))?
-                .parse::<u64>()
-                .map_err(|_| bad_line(lineno))
-        };
-        let a = parse(it.next())?;
-        let b = parse(it.next())?;
+        let a = parse_vertex(it.next(), line, lineno)?;
+        let b = parse_vertex(it.next(), line, lineno)?;
         let u = intern(a, &mut original_ids);
         let v = intern(b, &mut original_ids);
+        if original_ids.len() > V::MAX as usize {
+            return Err(ParseError::new(
+                ParseErrorKind::TooLarge,
+                format!("more than {} distinct vertex ids", V::MAX),
+            )
+            .at_line(lineno + 1)
+            .into());
+        }
         edges.push((u, v));
+    }
+    if !saw_data {
+        return Err(ParseError::new(
+            ParseErrorKind::Empty,
+            "edge list contains no edges (only blank/comment lines)",
+        )
+        .into());
     }
     let mut builder = GraphBuilder::with_capacity(original_ids.len(), edges.len());
     for (u, v) in edges {
@@ -62,16 +85,32 @@ pub fn read_edge_list<R: Read>(reader: R) -> io::Result<LoadedGraph> {
     })
 }
 
-fn bad_line(lineno: usize) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("malformed edge on line {}", lineno + 1),
-    )
+fn parse_vertex(tok: Option<&str>, line: &str, lineno: usize) -> Result<u64, DviclError> {
+    let lineno = lineno + 1; // report 1-based
+    let tok = tok.ok_or_else(|| {
+        ParseError::new(
+            ParseErrorKind::TruncatedLine,
+            format!("expected `u v`, got {line:?}"),
+        )
+        .at_line(lineno)
+    })?;
+    tok.parse::<u64>().map_err(|e| {
+        let kind = match e.kind() {
+            IntErrorKind::PosOverflow | IntErrorKind::NegOverflow => ParseErrorKind::Overflow,
+            _ => ParseErrorKind::NonNumeric,
+        };
+        ParseError::new(kind, format!("vertex id {tok:?}"))
+            .at_line(lineno)
+            .into()
+    })
 }
 
 /// Reads an edge list from a file path.
-pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> io::Result<LoadedGraph> {
-    read_edge_list(std::fs::File::open(path)?)
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, DviclError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)
+        .map_err(|e| DviclError::invalid(format!("cannot open {}: {e}", path.display())))?;
+    read_edge_list(file)
 }
 
 /// Writes a graph as an edge list (`u v` per line, `u < v`), with a size
@@ -104,9 +143,51 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed_lines() {
-        assert!(read_edge_list("1 x\n".as_bytes()).is_err());
-        assert!(read_edge_list("7\n".as_bytes()).is_err());
+    fn rejects_malformed_lines_with_typed_errors() {
+        let non_numeric = read_edge_list("1 x\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            non_numeric,
+            DviclError::Parse(ParseError {
+                kind: ParseErrorKind::NonNumeric,
+                line: Some(1),
+                ..
+            })
+        ));
+        let truncated = read_edge_list("0 1\n7\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            truncated,
+            DviclError::Parse(ParseError {
+                kind: ParseErrorKind::TruncatedLine,
+                line: Some(2),
+                ..
+            })
+        ));
+        let overflow = read_edge_list("0 99999999999999999999999\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            overflow,
+            DviclError::Parse(ParseError {
+                kind: ParseErrorKind::Overflow,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        for input in ["", "# only a comment\n", "\n\n% x\n"] {
+            let err = read_edge_list(input.as_bytes()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DviclError::Parse(ParseError {
+                        kind: ParseErrorKind::Empty,
+                        ..
+                    })
+                ),
+                "expected Empty for {input:?}, got {err}"
+            );
+            assert_eq!(err.exit_code(), 2);
+        }
     }
 
     #[test]

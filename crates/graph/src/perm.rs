@@ -9,7 +9,6 @@ use std::fmt;
 /// left-to-right: `v^(γδ) = (v^γ)^δ`. [`Perm::then`] implements that
 /// composition.
 #[derive(Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Perm {
     image: Vec<V>,
 }

@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+use dvicl_govern::{Budget, DviclError};
 use dvicl_graph::{Coloring, Graph, V};
 
 mod partition;
@@ -73,6 +74,35 @@ pub fn refine_individualized(g: &Graph, pi: &Coloring, v: V) -> RefineResult {
         new_singletons: p.new_singletons().to_vec(),
         coloring: p.to_coloring(),
     }
+}
+
+/// Budgeted [`refine`]: one work unit is spent per splitter processed,
+/// so a wall-clock deadline or cancellation interrupts the refinement
+/// loop itself rather than waiting for it to finish.
+pub fn try_refine(g: &Graph, pi: &Coloring, budget: &Budget) -> Result<RefineResult, DviclError> {
+    let mut p = Partition::from_coloring(g.n(), pi);
+    let trace = p.try_refine(g, budget)?;
+    Ok(RefineResult {
+        trace,
+        new_singletons: p.new_singletons().to_vec(),
+        coloring: p.to_coloring(),
+    })
+}
+
+/// Budgeted [`refine_individualized`].
+pub fn try_refine_individualized(
+    g: &Graph,
+    pi: &Coloring,
+    v: V,
+    budget: &Budget,
+) -> Result<RefineResult, DviclError> {
+    let mut p = Partition::from_coloring(g.n(), pi);
+    let trace = p.try_individualize_and_refine(g, v, budget)?;
+    Ok(RefineResult {
+        trace,
+        new_singletons: p.new_singletons().to_vec(),
+        coloring: p.to_coloring(),
+    })
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! color definition), and `cell_len[s]` is the length of the cell starting
 //! at position `s` (meaningful only at start positions).
 
+use dvicl_govern::{Budget, DviclError};
 use dvicl_graph::{Coloring, Graph, V};
 use std::collections::VecDeque;
 
@@ -123,6 +124,20 @@ impl Partition {
     /// hash. All current cells are used as initial splitters; every
     /// singleton cell of the *result* counts as newly created.
     pub fn refine(&mut self, g: &Graph) -> u64 {
+        self.seed_refine();
+        self.run(g, 0x5ee2_c3a1_d00d_f00d, None)
+            .expect("un-budgeted refinement cannot fail")
+    }
+
+    /// Budgeted [`Partition::refine`]: spends one work unit per splitter
+    /// processed, so a deadline interrupts refinement itself, not just
+    /// the search loop around it.
+    pub fn try_refine(&mut self, g: &Graph, budget: &Budget) -> Result<u64, DviclError> {
+        self.seed_refine();
+        self.run(g, 0x5ee2_c3a1_d00d_f00d, Some(budget))
+    }
+
+    fn seed_refine(&mut self) {
         let n = self.n();
         let mut s = 0usize;
         while s < n {
@@ -132,7 +147,6 @@ impl Partition {
             s += self.cell_len[s] as usize;
         }
         self.enqueue_all_cells();
-        self.run(g, 0x5ee2_c3a1_d00d_f00d)
     }
 
     /// Individualizes `v` (splitting it to the front of its cell) and
@@ -140,6 +154,23 @@ impl Partition {
     /// a singleton cell. Returns the trace hash, seeded with `v`'s color —
     /// an isomorphism-invariant of the branching decision.
     pub fn individualize_and_refine(&mut self, g: &Graph, v: V) -> u64 {
+        let seed = self.seed_individualize(v);
+        self.run(g, seed, None)
+            .expect("un-budgeted refinement cannot fail")
+    }
+
+    /// Budgeted [`Partition::individualize_and_refine`].
+    pub fn try_individualize_and_refine(
+        &mut self,
+        g: &Graph,
+        v: V,
+        budget: &Budget,
+    ) -> Result<u64, DviclError> {
+        let seed = self.seed_individualize(v);
+        self.run(g, seed, Some(budget))
+    }
+
+    fn seed_individualize(&mut self, v: V) -> u64 {
         let s = self.cell_start[v as usize];
         let len = self.cell_len[s as usize];
         assert!(len > 1, "cannot individualize a singleton cell");
@@ -161,13 +192,17 @@ impl Partition {
         }
         self.enqueue(s);
         self.enqueue(s + 1);
-        self.run(g, mix(0x01d1_71da_71ba_5eed, s as u64))
+        mix(0x01d1_71da_71ba_5eed, s as u64)
     }
 
-    /// Core worklist loop. `seed` initializes the trace hash.
-    fn run(&mut self, g: &Graph, seed: u64) -> u64 {
+    /// Core worklist loop. `seed` initializes the trace hash; one work
+    /// unit is spent per splitter when a budget is supplied.
+    fn run(&mut self, g: &Graph, seed: u64, budget: Option<&Budget>) -> Result<u64, DviclError> {
         let mut trace = seed;
         while let Some(s) = self.queue.pop_front() {
+            if let Some(b) = budget {
+                b.spend(1)?;
+            }
             self.in_queue[s as usize] = false;
             trace = mix(trace, 0xA110 ^ (s as u64) << 16);
             trace = self.split_by(g, s, trace);
@@ -175,7 +210,7 @@ impl Partition {
             // (Checked cheaply: every cell len 1 iff no queue progress can
             // help, but scanning is O(n); rely on natural termination.)
         }
-        trace
+        Ok(trace)
     }
 
     /// Uses the cell at start `s` as a splitter; returns the updated trace.

@@ -23,7 +23,7 @@ fn main() {
     println!(
         "  {} symmetric subgraphs (complete: {}):",
         matches.matches.len(),
-        matches.complete
+        !matches.truncated
     );
     for m in &matches.matches {
         println!("    {m:?}");

@@ -55,7 +55,7 @@ proptest! {
         let (t, i) = setup(&g);
         let truth = brute_images(&g, &set);
         let res = enumerate_images(&t, &i, &set, 100_000);
-        prop_assert!(res.complete);
+        prop_assert!(!res.truncated);
         let got: BTreeSet<Vec<V>> = res.matches.into_iter().collect();
         prop_assert_eq!(got, truth);
     }
@@ -167,6 +167,6 @@ fn colored_graphs_restrict_symmetry() {
     assert_eq!(count_images(&t2, &i2, &[1, 4]).to_u64(), Some(9));
     assert_eq!(count_images(&t2, &i2, &[1, 2]).to_u64(), Some(3));
     let res = enumerate_images(&t2, &i2, &[1, 2], 100);
-    assert!(res.complete);
+    assert!(!res.truncated);
     assert_eq!(res.matches.len(), 3);
 }
