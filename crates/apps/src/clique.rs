@@ -8,6 +8,7 @@ use dvicl_graph::{Graph, V};
 /// Finds one maximum clique (vertices ascending).
 pub fn max_clique(g: &Graph) -> Vec<V> {
     try_max_clique(g, &Budget::unlimited())
+        // dvicl-lint: allow(panic-freedom) -- Budget::unlimited() never exhausts, so the Err arm is unreachable
         .expect("unlimited clique search cannot exceed its budget")
 }
 
@@ -51,6 +52,7 @@ fn degeneracy_order(g: &Graph) -> Vec<V> {
         if floor > maxd {
             break;
         }
+        // dvicl-lint: allow(panic-freedom) -- `floor` is advanced past empty buckets by the loop above, so buckets[floor] is non-empty here
         let v = buckets[floor].pop().expect("non-empty bucket");
         if removed[v as usize] || deg[v as usize] != floor {
             // Stale entry: re-bucket if still alive.
@@ -138,6 +140,7 @@ fn greedy_color(g: &Graph, cands: &[V]) -> Vec<u32> {
 /// already known (used for Table 7: clustering the maximum cliques).
 pub fn all_max_cliques(g: &Graph, size: usize, limit: usize) -> Vec<Vec<V>> {
     try_all_max_cliques(g, size, limit, &Budget::unlimited())
+        // dvicl-lint: allow(panic-freedom) -- Budget::unlimited() never exhausts, so the Err arm is unreachable
         .expect("unlimited clique enumeration cannot exceed its budget")
 }
 

@@ -36,6 +36,7 @@ impl Default for IcConfig {
 /// Estimates the expected spread `σ(S)` of a seed set by Monte-Carlo BFS.
 pub fn spread(g: &Graph, seeds: &[V], cfg: &IcConfig) -> f64 {
     try_spread(g, seeds, cfg, &Budget::unlimited())
+        // dvicl-lint: allow(panic-freedom) -- Budget::unlimited() never exhausts, so the Err arm is unreachable
         .expect("unlimited spread estimation cannot exceed its budget")
 }
 
@@ -97,6 +98,7 @@ pub fn select_seeds(g: &Graph, k: usize, cfg: &IcConfig) -> Vec<V> {
 /// [`select_seeds`] with an explicit candidate-pool size.
 pub fn select_seeds_pruned(g: &Graph, k: usize, cfg: &IcConfig, max_candidates: usize) -> Vec<V> {
     try_select_seeds_pruned(g, k, cfg, max_candidates, &Budget::unlimited())
+        // dvicl-lint: allow(panic-freedom) -- Budget::unlimited() never exhausts, so the Err arm is unreachable
         .expect("unlimited seed selection cannot exceed its budget")
 }
 
@@ -139,6 +141,7 @@ pub fn try_select_seeds_pruned(
     let mut iteration = 0u32;
     let to_fixed = |x: f64| (x * 1048576.0) as u64;
     while seeds.len() < k {
+        // dvicl-lint: allow(panic-freedom) -- the heap holds every non-seed vertex and seeds.len() < k <= n, so it is non-empty
         let (gain, v, evaluated) = heap.pop().expect("heap holds all non-seeds");
         if evaluated == iteration {
             seeds.push(v);

@@ -34,6 +34,7 @@ pub fn quotient(g: &Graph, tree: &AutoTree) -> Quotient {
         for &v in cell {
             orbit_of[v as usize] = i as V;
         }
+        // dvicl-lint: allow(narrowing-cast) -- a cell holds at most n <= V::MAX vertices
         orbit_sizes.push(cell.len() as u32);
     }
     let mut b = GraphBuilder::new(cells.len());

@@ -72,6 +72,7 @@ pub fn try_for_each_triangle(
     let mut by_deg: Vec<V> = (0..n as V).collect();
     by_deg.sort_unstable_by_key(|&v| (g.degree(v), v));
     for (r, &v) in by_deg.iter().enumerate() {
+        // dvicl-lint: allow(narrowing-cast) -- r < n and n fits in V = u32 by Graph's construction invariant
         rank[v as usize] = r as u32;
     }
     let higher = |u: V, v: V| rank[v as usize] > rank[u as usize];

@@ -15,8 +15,15 @@ static PEAK: AtomicUsize = AtomicUsize::new(0);
 /// ```
 pub struct Meter;
 
+// SAFETY: Meter delegates every allocation verbatim to the system
+// allocator and only adds relaxed atomic counter updates around the
+// calls; it therefore upholds the GlobalAlloc contract exactly as
+// `System` does (no allocation from within the allocator, no panics,
+// layout passed through unchanged).
 unsafe impl GlobalAlloc for Meter {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: `layout` is the caller's valid, non-zero-size layout,
+        // forwarded unchanged to the system allocator.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
@@ -26,6 +33,9 @@ unsafe impl GlobalAlloc for Meter {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by `Meter::alloc` (i.e. by
+        // `System.alloc`) with this same `layout`, per the GlobalAlloc
+        // contract the caller upholds.
         unsafe { System.dealloc(ptr, layout) };
         LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
     }

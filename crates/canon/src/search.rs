@@ -149,6 +149,7 @@ fn mix(h: u64, x: u64) -> u64 {
 /// refinement traces miss on geometric graphs; at a *discrete* coloring it
 /// hashes the full certificate, which is what makes the automorphism
 /// jump-back reliable (bliss's certificate-hash idea).
+// dvicl-lint: allow(budget-threading) -- pure O(n + m) invariant hash; each call is metered by the dfs node that requests it
 fn quotient_hash(g: &Graph, pi: &Coloring) -> u64 {
     let mut acc: u64 = 0x900d_0a90_0000_0000;
     for u in 0..g.n() as V {
@@ -182,6 +183,7 @@ fn quotient_hash(g: &Graph, pi: &Coloring) -> u64 {
 /// ```
 pub fn canonical_form(g: &Graph, pi: &Coloring, config: &Config) -> CanonResult {
     try_canonical_form(g, pi, config, &Budget::unlimited())
+        // dvicl-lint: allow(panic-freedom) -- Budget::unlimited() never exhausts, so the Err arm is unreachable
         .expect("unlimited search cannot exceed its budget")
 }
 
@@ -273,6 +275,7 @@ pub fn try_canonical_form(
     let root_inv = mix(root.trace, quotient_hash(g, &root.coloring));
     let mut fixed: Vec<V> = Vec::new();
     s.dfs(&root.coloring, root_inv, 0, true, Ordering::Equal, None, &mut fixed)?;
+    // dvicl-lint: allow(panic-freedom) -- dfs reaches at least one leaf before returning Ok, and the first leaf seeds best_leaf
     let (form, labeling) = s.best_leaf.expect("search always reaches a leaf");
     Ok(CanonResult {
         labeling,
@@ -452,6 +455,7 @@ impl<'a> Search<'a> {
         self.stats.leaves += 1;
         let lambda = pi
             .to_perm()
+            // dvicl-lint: allow(panic-freedom) -- handle_leaf is only called when target_cell found no non-singleton cell, i.e. pi is discrete
             .expect("a node with no non-singleton cell is discrete");
         let cert = CanonForm::new(self.g, self.pi0.colors(), lambda.as_slice());
 
@@ -472,6 +476,7 @@ impl<'a> Search<'a> {
         let mut found_auto = false;
         // Automorphism against the reference leaf (γ' γ₀⁻¹ in the paper).
         if on_first {
+            // dvicl-lint: allow(panic-freedom) -- first_leaf is assigned a few lines above when None, so it is always Some here
             let (first_cert, first_lambda) = self.first_leaf.as_ref().expect("set above");
             if cert == *first_cert {
                 let auto = lambda.then(&first_lambda.inverse());
@@ -504,6 +509,7 @@ impl<'a> Search<'a> {
                 },
             },
             Ordering::Greater => {}
+            // dvicl-lint: allow(panic-freedom) -- dfs only ever passes Equal or Greater: a Less invariant resets best_path and keeps best_cmp = Equal
             Ordering::Less => unreachable!("Less is never propagated"),
         }
         if found_auto {

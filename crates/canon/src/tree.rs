@@ -76,6 +76,7 @@ impl SearchTree {
             None => String::new(),
         };
         writeln!(out, "{:indent$}{edge}({id}) {}", "", n.coloring, indent = indent)
+            // dvicl-lint: allow(panic-freedom) -- fmt::Write for String is infallible; the Err arm cannot occur
             .expect("writing to String cannot fail");
         for c in self.children(id) {
             self.render_rec(c, indent + 2, out);

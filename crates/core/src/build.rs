@@ -52,6 +52,7 @@ impl Default for DviclOptions {
 pub fn build_autotree(g: &Graph, pi0: &Coloring, opts: &DviclOptions) -> AutoTree {
     assert_eq!(g.n(), pi0.n(), "graph/coloring size mismatch");
     try_build_autotree(g, pi0, opts, &Budget::unlimited())
+        // dvicl-lint: allow(panic-freedom) -- Budget::unlimited() never exhausts, so the Err arm is unreachable
         .expect("an unlimited build cannot exceed its budget")
 }
 
@@ -288,6 +289,7 @@ impl<'a> Builder<'a> {
             .generators
             .iter()
             .map(|gen| {
+                // dvicl-lint: allow(narrowing-cast) -- sub.n() <= g.n() <= V::MAX by Graph's construction invariant
                 (0..sub.n() as u32)
                     .filter(|&i| gen.apply(i) != i)
                     .map(|i| (sub.verts[i as usize], sub.verts[gen.apply(i) as usize]))
@@ -305,6 +307,7 @@ impl<'a> Builder<'a> {
     /// `CombineST` (Algorithm 5): sort children by certificate; order the
     /// vertices of each (global) cell by (child position, child label);
     /// the rank within the cell gives `γ_g(v) = π(v) + rank`.
+    // dvicl-lint: allow(budget-threading) -- O(children log children) merge of already-built nodes; the per-node work was metered when each child was built
     fn combine_st(&mut self, id: NodeId, sub: &Sub, mut children: Vec<NodeId>) {
         // Line 1: non-descending certificate order.
         children.sort_by(|&a, &b| self.nodes[a].form.cmp(&self.nodes[b].form));
@@ -324,6 +327,7 @@ impl<'a> Builder<'a> {
         for (pos, &c) in children.iter().enumerate() {
             let child = &self.nodes[c];
             for (i, &v) in child.verts.iter().enumerate() {
+                // dvicl-lint: allow(narrowing-cast) -- pos < children.len() <= g.n() <= V::MAX
                 key.insert(v, (pos as u32, child.labels[i]));
             }
         }

@@ -199,6 +199,7 @@ pub fn are_isomorphic_joint(g1: &Graph, g2: &Graph) -> bool {
     if n == 0 {
         return true;
     }
+    // dvicl-lint: allow(narrowing-cast) -- n = g1.n() <= V::MAX by Graph's construction invariant
     let shift = n as u32;
     let u = 2 * shift;
     let mut edges: Vec<(u32, u32)> = g1.edges().collect();
@@ -225,6 +226,7 @@ pub fn are_isomorphic_joint(g1: &Graph, g2: &Graph) -> bool {
         } else if node.verts.iter().all(|&v| v >= shift && v < u) {
             side2.push(&node.form);
         } else {
+            // dvicl-lint: allow(panic-freedom) -- root children refine connected components, and every component of joint minus the axis lies wholly on one side
             unreachable!("a root child mixes the two sides");
         }
     }

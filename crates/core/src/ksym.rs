@@ -32,6 +32,7 @@ pub struct KSymStats {
 /// budget-aware form.
 pub fn k_symmetric_extension(g: &Graph, tree: &AutoTree, k: usize) -> (Graph, KSymStats) {
     try_k_symmetric_extension(g, tree, k, &Budget::unlimited())
+        // dvicl-lint: allow(panic-freedom) -- documented panicking wrapper: only k == 0 can reach the Err arm, as stated in the doc comment
         .unwrap_or_else(|e| panic!("k-symmetry extension failed: {e}"))
 }
 
@@ -87,6 +88,7 @@ pub fn try_k_symmetric_extension(
     let mut child_of = vec![u32::MAX; n0];
     for (idx, &c) in root.children.iter().enumerate() {
         for &v in &tree.node(c).verts {
+            // dvicl-lint: allow(narrowing-cast) -- idx indexes root.children, and the tree has at most n <= V::MAX root children
             child_of[v as usize] = idx as u32;
         }
     }
@@ -133,10 +135,12 @@ pub fn try_k_symmetric_extension(
             .or_default()
             .push((v, child_of[v as usize]));
     }
+    // dvicl-lint: allow(narrowing-cast) -- the root has at most n <= V::MAX children
     let num_children = root.children.len() as u32;
     for (j, &template) in jobs.iter().enumerate() {
         let t = tree.node(template);
         budget.spend(t.n() as u64)?;
+        // dvicl-lint: allow(narrowing-cast) -- j < jobs.len() <= (k - 1) * n clones, bounded well below u32::MAX by the budget
         let child_idx = num_children + j as u32;
         let ids: Vec<V> = (0..t.n()).map(|i| next + i as V).collect();
         next += t.n() as V;
@@ -161,6 +165,7 @@ pub fn try_k_symmetric_extension(
         for (i, &orig) in t.verts.iter().enumerate() {
             let cv = clone_ids[j][i] as usize;
             color_of[cv] = tree.pi.color_of(orig);
+            // dvicl-lint: allow(narrowing-cast) -- j < jobs.len() <= (k - 1) * n clones, bounded well below u32::MAX by the budget
             child_of_all[cv] = num_children + j as u32;
         }
     }

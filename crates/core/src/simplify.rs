@@ -116,6 +116,7 @@ pub fn dvicl_simplified(g: &Graph, pi0: &Coloring, opts: &DviclOptions) -> Simpl
     let reps: Vec<V> = (0..n as V).filter(|&v| twins.rep_of[v as usize] == v).collect();
     let mut size_of_rep: FxHashMap<V, u32> = reps.iter().map(|&r| (r, 1)).collect();
     for class in &twins.non_singleton {
+        // dvicl-lint: allow(narrowing-cast) -- a twin class holds at most n <= V::MAX vertices
         size_of_rep.insert(class[0], class.len() as u32);
     }
     let class_size: Vec<u32> = reps.iter().map(|&r| size_of_rep[&r]).collect();

@@ -14,6 +14,7 @@ use rustc_hash::FxHashSet;
 /// once, matching SSM semantics), up to `limit` results.
 pub fn enumerate_induced(g: &Graph, q: &Graph, limit: usize) -> Vec<Vec<V>> {
     try_enumerate_induced(g, q, limit, &Budget::unlimited())
+        // dvicl-lint: allow(panic-freedom) -- Budget::unlimited() never exhausts, so the Err arm is unreachable
         .expect("unlimited SM enumeration cannot exceed its budget")
 }
 
@@ -48,6 +49,7 @@ pub fn try_enumerate_induced(
 
 /// Reorders so each vertex (after the first) is adjacent to an earlier one
 /// when possible.
+// dvicl-lint: allow(budget-threading) -- one-shot O(q.n() + q.m()) preprocessing of the query graph, done before the metered VF2 search starts
 fn connectivity_order(q: &Graph, pref: &[V]) -> Vec<V> {
     let mut order = Vec::with_capacity(pref.len());
     let mut placed = vec![false; q.n()];
@@ -139,6 +141,7 @@ pub fn ssm_via_sm(
     limit: usize,
 ) -> Vec<Vec<V>> {
     try_ssm_via_sm(g, tree, index, query, limit, &Budget::unlimited())
+        // dvicl-lint: allow(panic-freedom) -- with an unlimited budget only an invalid query set can reach the Err arm of this convenience wrapper
         .unwrap_or_else(|e| panic!("SSM-via-SM query failed: {e}"))
 }
 

@@ -43,12 +43,14 @@ pub struct SsmIndex {
 
 impl SsmIndex {
     /// Builds the index for `tree`.
+    // dvicl-lint: allow(budget-threading) -- one-shot O(tree.len() + n) index build over an already-budgeted AutoTree
     pub fn new(tree: &AutoTree) -> Self {
         let n = tree.pi.n();
         let mut leaf_of = vec![usize::MAX; n];
         let mut pos_in_parent = vec![0u32; tree.len()];
         for (id, node) in tree.nodes().iter().enumerate() {
             for (pos, &c) in node.children.iter().enumerate() {
+                // dvicl-lint: allow(narrowing-cast) -- a node has at most n <= V::MAX children
                 pos_in_parent[c] = pos as u32;
             }
             if node.children.is_empty() {
@@ -65,9 +67,11 @@ impl SsmIndex {
 
     /// The child of `node` whose subtree contains `v` (`v` must be in the
     /// node's subgraph but `node` must not be `v`'s leaf).
+    // dvicl-lint: allow(budget-threading) -- walks one leaf-to-node path, O(tree depth); callers meter per query vertex
     fn child_under(&self, tree: &AutoTree, node: NodeId, v: V) -> NodeId {
         let mut cur = self.leaf_of[v as usize];
         loop {
+            // dvicl-lint: allow(panic-freedom) -- the caller guarantees v lies strictly below node, so the walk hits node before the root
             let parent = tree.node(cur).parent.expect("v lies under node");
             if parent == node {
                 return cur;
@@ -78,6 +82,7 @@ impl SsmIndex {
 
     /// Partitions `set` among the children of `node`; returns
     /// `(child position, child id, subset)` sorted by position.
+    // dvicl-lint: allow(budget-threading) -- O(|set| * depth) helper; the recursive SSM callers spend budget per node visited
     fn partition(&self, tree: &AutoTree, node: NodeId, set: &[V]) -> Vec<(u32, NodeId, Vec<V>)> {
         let mut by_child: FxHashMap<NodeId, Vec<V>> = FxHashMap::default();
         for &v in set {
@@ -128,6 +133,7 @@ fn push_u32(buf: &mut Vec<u8>, x: u32) {
 /// the fallible, budget-aware form.
 pub fn symmetric_key(tree: &AutoTree, index: &SsmIndex, set: &[V]) -> Vec<u8> {
     try_symmetric_key(tree, index, set, &Budget::unlimited())
+        // dvicl-lint: allow(panic-freedom) -- documented panicking wrapper: only an invalid query set can reach the Err arm, as stated in the doc comment
         .unwrap_or_else(|e| panic!("SSM query failed: {e}"))
 }
 
@@ -161,6 +167,7 @@ pub fn try_symmetric_key(
 /// ```
 pub fn count_images(tree: &AutoTree, index: &SsmIndex, set: &[V]) -> BigUint {
     try_count_images(tree, index, set, &Budget::unlimited())
+        // dvicl-lint: allow(panic-freedom) -- convenience wrapper: with an unlimited budget only an invalid query set can reach the Err arm
         .unwrap_or_else(|e| panic!("SSM query failed: {e}"))
 }
 
@@ -181,6 +188,7 @@ pub fn try_count_images(
 /// the fallible, budget-aware form.
 pub fn same_symmetry(tree: &AutoTree, index: &SsmIndex, a: &[V], b: &[V]) -> bool {
     try_same_symmetry(tree, index, a, b, &Budget::unlimited())
+        // dvicl-lint: allow(panic-freedom) -- documented panicking wrapper: only an invalid query set can reach the Err arm, as stated in the doc comment
         .unwrap_or_else(|e| panic!("SSM query failed: {e}"))
 }
 
@@ -245,9 +253,12 @@ fn analyze(
                 let mut keys: Vec<&Vec<u8>> = in_class.iter().map(|x| &x.1).collect();
                 keys.sort();
                 // Key contribution.
+                // dvicl-lint: allow(narrowing-cast) -- class_idx counts sibling classes, at most n <= V::MAX
                 push_u32(&mut key, 0xA5A5_0000 | class_idx as u32);
+                // dvicl-lint: allow(narrowing-cast) -- t <= the class size c <= n <= V::MAX
                 push_u32(&mut key, t as u32);
                 for k in &keys {
+                    // dvicl-lint: allow(narrowing-cast) -- a child key holds O(n) u32 words, far below u32::MAX bytes
                     push_u32(&mut key, k.len() as u32);
                     key.extend_from_slice(k);
                 }
@@ -296,6 +307,7 @@ fn analyze_leaf(
     let vmap: FxHashMap<V, u32> = verts
         .iter()
         .enumerate()
+        // dvicl-lint: allow(narrowing-cast) -- i indexes the leaf's vertices, at most n <= V::MAX
         .map(|(i, &v)| (v, i as u32))
         .collect();
     // Recover the leaf's induced edges from the original graph structure
@@ -304,6 +316,7 @@ fn analyze_leaf(
     // the labels to get local endpoints.
     let mut label_to_local: FxHashMap<V, u32> = FxHashMap::default();
     for (i, &l) in n.labels.iter().enumerate() {
+        // dvicl-lint: allow(narrowing-cast) -- i indexes the leaf's labels, at most n <= V::MAX
         label_to_local.insert(l, i as u32);
     }
     for &(la, lb) in &n.form.edges {
@@ -342,6 +355,7 @@ fn analyze_leaf(
         .collect();
     let count = orbit_of_set(&local_set, &gens, None, gov)?
         .map(|orbit| BigUint::from_u64(orbit.len() as u64))
+        // dvicl-lint: allow(panic-freedom) -- orbit_of_set returns Ok(None) only when a cap is given, and cap is None here
         .expect("uncapped orbit enumeration cannot fail");
     Ok((key, count))
 }
@@ -411,6 +425,7 @@ pub fn enumerate_images(
     limit: usize,
 ) -> SsmMatches {
     try_enumerate_images(tree, index, set, limit, &Budget::unlimited())
+        // dvicl-lint: allow(panic-freedom) -- documented panicking wrapper: only an invalid query set can reach the Err arm, as stated in the doc comment
         .unwrap_or_else(|e| panic!("SSM query failed: {e}"))
 }
 
@@ -460,6 +475,7 @@ fn enum_at(
                 .verts
                 .iter()
                 .enumerate()
+                // dvicl-lint: allow(narrowing-cast) -- i indexes the leaf's vertices, at most n <= V::MAX
                 .map(|(i, &v)| (v, i as u32))
                 .collect();
             let local: Vec<u32> = set.iter().map(|v| vmap[v]).collect();
@@ -654,6 +670,7 @@ fn assign_rec(
     let count = end - start;
     // Choose `count` unused slots (combinations, ascending, to avoid
     // duplicate unordered assignments of equal-key instances).
+    // dvicl-lint: allow(budget-threading) -- enumerates C(slots, count) combinations; the caller spends budget per assignment it consumes
     fn combos(
         used: &mut Vec<bool>,
         from: usize,

@@ -64,6 +64,7 @@ impl Sub {
             .verts
             .iter()
             .enumerate()
+            // dvicl-lint: allow(narrowing-cast) -- i indexes the subgraph's vertices, at most n <= V::MAX
             .map(|(i, &v)| (pi.color_of(v), i as u32))
             .collect();
         pairs.sort_unstable();
@@ -86,6 +87,7 @@ impl Sub {
         sorted.sort_unstable_by_key(|&i| self.verts[i as usize]);
         let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
         for (new, &old) in sorted.iter().enumerate() {
+            // dvicl-lint: allow(narrowing-cast) -- new < locals.len() <= n <= V::MAX
             remap.insert(old, new as u32);
         }
         let verts: Vec<V> = sorted.iter().map(|&i| self.verts[i as usize]).collect();
@@ -115,10 +117,12 @@ impl Sub {
         let mut comp = vec![u32::MAX; n];
         let mut out = Vec::new();
         let mut stack = Vec::new();
+        // dvicl-lint: allow(narrowing-cast) -- n = self.n() <= V::MAX by Graph's construction invariant
         for s in 0..n as u32 {
             if banned[s as usize] || comp[s as usize] != u32::MAX {
                 continue;
             }
+            // dvicl-lint: allow(narrowing-cast) -- at most n <= V::MAX components
             let id = out.len() as u32;
             comp[s as usize] = id;
             stack.push(s);
@@ -192,6 +196,7 @@ impl Sub {
         let mut cell_of = vec![0u32; self.n()];
         for (ci, cell) in cells.iter().enumerate() {
             for &i in &cell.members {
+                // dvicl-lint: allow(narrowing-cast) -- ci < ncells <= n <= V::MAX
                 cell_of[i as usize] = ci as u32;
             }
         }
@@ -209,8 +214,10 @@ impl Sub {
             full[ci] = (0..ncells)
                 .map(|cj| {
                     let need = if cj == ci {
+                        // dvicl-lint: allow(narrowing-cast) -- a cell holds at most n <= V::MAX vertices
                         cells[cj].members.len() as u32 - 1
                     } else {
+                        // dvicl-lint: allow(narrowing-cast) -- a cell holds at most n <= V::MAX vertices
                         cells[cj].members.len() as u32
                     };
                     need > 0 && counts[cj] == need
@@ -255,7 +262,9 @@ impl Sub {
         let mut edges = Vec::with_capacity(self.m());
         for (i, row) in self.adj.iter().enumerate() {
             for &j in row {
+                // dvicl-lint: allow(narrowing-cast) -- i indexes the subgraph's adjacency rows, at most n <= V::MAX
                 if (i as u32) < j {
+                    // dvicl-lint: allow(narrowing-cast) -- i indexes the subgraph's adjacency rows, at most n <= V::MAX
                     edges.push((i as u32, j));
                 }
             }

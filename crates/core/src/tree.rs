@@ -135,6 +135,7 @@ impl AutoTree {
         for (i, &v) in node.verts.iter().enumerate() {
             image[v as usize] = node.labels[i];
         }
+        // dvicl-lint: allow(panic-freedom) -- CombineST assigns the root a bijective labeling by construction
         Perm::from_image(image).expect("root labels form a permutation")
     }
 
@@ -202,11 +203,13 @@ impl AutoTree {
             .children
             .iter()
             .position(|&c| c == id)
+            // dvicl-lint: allow(panic-freedom) -- id's parent pointer and the parent's child list are kept consistent by the builder
             .expect("child listed in parent");
         let &(s, e) = p
             .sibling_classes
             .iter()
             .find(|&&(s, e)| s <= pos && pos < e)
+            // dvicl-lint: allow(panic-freedom) -- sibling_classes is a partition of 0..children.len(), so every position is covered
             .expect("classes cover children");
         Some((parent, s, e))
     }
@@ -263,6 +266,7 @@ impl AutoTree {
             n.labels,
             indent = indent
         )
+        // dvicl-lint: allow(panic-freedom) -- fmt::Write for String is infallible; the Err arm cannot occur
         .expect("writing to String cannot fail");
         for &c in &n.children {
             self.render_rec(c, indent + 2, out);

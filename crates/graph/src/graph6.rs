@@ -26,16 +26,19 @@ pub fn to_graph6(g: &Graph) -> String {
     let n = g.n();
     let mut out: Vec<u8> = Vec::new();
     if n <= 62 {
+        // dvicl-lint: allow(narrowing-cast) -- guarded by n <= 62
         out.push(n as u8 + 63);
     } else if n <= 258_047 {
         out.push(126);
         for shift in [12, 6, 0] {
+            // dvicl-lint: allow(narrowing-cast) -- masked with 0x3f, so the value is at most 63
             out.push(((n >> shift) & 0x3f) as u8 + 63);
         }
     } else {
         out.push(126);
         out.push(126);
         for shift in [30, 24, 18, 12, 6, 0] {
+            // dvicl-lint: allow(narrowing-cast) -- masked with 0x3f, so the value is at most 63
             out.push(((n >> shift) & 0x3f) as u8 + 63);
         }
     }
@@ -44,6 +47,7 @@ pub fn to_graph6(g: &Graph) -> String {
     let mut bits = 0u8;
     for j in 1..n as V {
         for i in 0..j {
+            // dvicl-lint: allow(narrowing-cast) -- bool as u8 is 0 or 1
             acc = acc << 1 | g.has_edge(i, j) as u8;
             bits += 1;
             if bits == 6 {

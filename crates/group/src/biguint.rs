@@ -181,6 +181,7 @@ impl BigUint {
             cur = q;
         }
         digits.reverse();
+        // dvicl-lint: allow(panic-freedom) -- every byte is b'0' + d with d < 10, so the buffer is valid ASCII
         String::from_utf8(digits).expect("digits are ASCII")
     }
 

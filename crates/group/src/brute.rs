@@ -28,6 +28,7 @@ fn backtrack(
 ) {
     let n = g.n();
     if v == n {
+        // dvicl-lint: allow(panic-freedom) -- the backtracking search assigns each vertex a distinct unused image, so the full map is a bijection
         out.push(Perm::from_image(image.clone()).expect("complete image is a bijection"));
         return;
     }
@@ -78,6 +79,7 @@ pub fn min_canon_form(g: &Graph, pi: &Coloring) -> CanonForm {
             _ => best = Some(form),
         }
     });
+    // dvicl-lint: allow(panic-freedom) -- the identity permutation is always enumerated and is color-preserving, so best is Some
     best.expect("at least the identity is color-preserving")
 }
 
@@ -158,6 +160,7 @@ impl ColorOfPosition for Coloring {
             }
             start = end;
         }
+        // dvicl-lint: allow(panic-freedom) -- the cells partition 0..n and p < n is checked by the caller, so some cell contains p
         unreachable!("position out of range")
     }
 }

@@ -1,0 +1,481 @@
+//! `dvicl-lint` — a dependency-free static invariant checker for the
+//! DviCL workspace.
+//!
+//! PR 1 established execution-governance invariants (typed errors,
+//! budget threading, panic-free input paths); this crate enforces them
+//! mechanically over every workspace `.rs` source instead of by
+//! convention. It is deliberately dependency-free (hand-rolled lexer,
+//! hand-rolled JSON) so the workspace keeps building offline.
+//!
+//! The pipeline per file: [`lexer::lex`] → locate `#[cfg(test)]` /
+//! `#[test]` items → collect `// dvicl-lint: allow(...) -- reason`
+//! pragmas → run every applicable rule from [`rules::catalog`] → drop
+//! findings inside test items → drop findings suppressed by a
+//! well-formed pragma. See DESIGN.md §8 for the rule catalog and the
+//! suppression policy.
+//!
+//! What gets scanned: non-test sources of every workspace crate
+//! (`crates/*/src/**` and the root `src/`). Test-class trees (`tests/`,
+//! `benches/`, `examples/`, `fixtures/`) and the vendored `shims/` are
+//! skipped — tests unwrap freely by design, and the shims are stand-ins
+//! for third-party code the rules do not govern.
+
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+
+use lexer::{Tok, TokKind};
+use pragma::Pragma;
+use report::Report;
+use rules::{FileCtx, Finding, Severity};
+use std::path::{Path, PathBuf};
+
+/// Meta-rule id: a pragma without a non-empty `-- reason` tail.
+pub const PRAGMA_MISSING_REASON: &str = "pragma-missing-reason";
+/// Meta-rule id: a pragma naming a rule that does not exist.
+pub const PRAGMA_UNKNOWN_RULE: &str = "pragma-unknown-rule";
+
+/// Directory names never descended into when walking the workspace.
+const SKIP_DIRS: [&str; 6] = ["target", "tests", "benches", "examples", "fixtures", "shims"];
+
+/// A failure of the lint *run* itself (not a finding).
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading a source file or directory failed.
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+    /// The given root does not look like the dvicl workspace.
+    NotAWorkspace { path: PathBuf },
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io { path, source } => {
+                write!(f, "io error on {}: {source}", path.display())
+            }
+            LintError::NotAWorkspace { path } => write!(
+                f,
+                "{} is not the dvicl workspace root (no Cargo.toml + crates/)",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// The crate a workspace-relative path belongs to: the directory under
+/// `crates/`, or `"dvicl"` for the root `src/`, or `""` when unknown.
+pub fn crate_name_of(rel: &str) -> &str {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or(""),
+        Some("src") => "dvicl",
+        _ => "",
+    }
+}
+
+/// Lints one source text under its workspace-relative path (which
+/// drives rule applicability). Returns *unsuppressed* findings plus
+/// pragma meta-findings, sorted by position; the second value is how
+/// many findings well-formed pragmas silenced.
+pub fn lint_source(rel: &str, src: &str) -> (Vec<Finding>, usize) {
+    let toks = lexer::lex(src);
+    let code: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .map(|(i, _)| i)
+        .collect();
+    let test_spans = find_test_spans(src, &toks, &code);
+    let crate_name = crate_name_of(rel);
+    let ctx = FileCtx {
+        rel,
+        crate_name,
+        src,
+        toks: &toks,
+        code: &code,
+        test_spans: &test_spans,
+    };
+
+    let (pragmas, mut findings) = collect_pragmas(&ctx);
+
+    for meta in rules::catalog() {
+        if !(meta.applies)(crate_name) {
+            continue;
+        }
+        findings.extend((meta.check)(&ctx));
+    }
+
+    // Drop findings inside test-only items, then apply suppressions.
+    findings.retain(|f| !ctx.in_test(f.byte));
+    let before = findings.len();
+    findings.retain(|f| {
+        // The pragma meta-findings are not themselves suppressible —
+        // otherwise a malformed pragma could hide its own malformation.
+        f.rule == PRAGMA_MISSING_REASON
+            || f.rule == PRAGMA_UNKNOWN_RULE
+            || !pragmas.iter().any(|p| p.suppresses(f.rule, f.line))
+    });
+    let suppressed = before - findings.len();
+    findings.sort_by_key(|f| (f.line, f.col));
+    (findings, suppressed)
+}
+
+/// Collects pragmas from the comment tokens and emits meta-findings for
+/// malformed ones (missing reason, unknown rule).
+fn collect_pragmas(ctx: &FileCtx) -> (Vec<Pragma>, Vec<Finding>) {
+    let known = rules::known_rule_ids();
+    let mut pragmas = Vec::new();
+    let mut findings = Vec::new();
+    for tok in ctx.toks {
+        if tok.kind != TokKind::LineComment {
+            continue;
+        }
+        let Some(p) = pragma::parse(ctx.text(tok), tok.line, tok.col) else {
+            continue;
+        };
+        if p.reason.is_none() {
+            findings.push(Finding {
+                rule: PRAGMA_MISSING_REASON,
+                severity: Severity::Deny,
+                file: ctx.rel.to_string(),
+                line: tok.line,
+                col: tok.col,
+                byte: tok.start,
+                message: "suppression pragma is missing its `-- <reason>` tail; \
+                          it suppresses nothing until the invariant is stated"
+                    .to_string(),
+            });
+        }
+        if p.rules.is_empty() {
+            findings.push(Finding {
+                rule: PRAGMA_UNKNOWN_RULE,
+                severity: Severity::Deny,
+                file: ctx.rel.to_string(),
+                line: tok.line,
+                col: tok.col,
+                byte: tok.start,
+                message: "suppression pragma has no `allow(<rule>)` clause".to_string(),
+            });
+        }
+        for r in &p.rules {
+            if !known.iter().any(|k| k == r) {
+                findings.push(Finding {
+                    rule: PRAGMA_UNKNOWN_RULE,
+                    severity: Severity::Deny,
+                    file: ctx.rel.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                    byte: tok.start,
+                    message: format!("suppression pragma names unknown rule `{r}`"),
+                });
+            }
+        }
+        pragmas.push(p);
+    }
+    (pragmas, findings)
+}
+
+/// Byte spans of items guarded by `#[cfg(test)]` (including `not(test)`
+/// awareness) or `#[test]`: the whole following item, brace-matched.
+fn find_test_spans(src: &str, toks: &[Tok], code: &[usize]) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut cp = 0;
+    while cp < code.len() {
+        let i = code[cp];
+        if toks[i].kind == TokKind::Punct(b'#') {
+            if let Some((attr_end_cp, is_test)) = parse_attr(src, toks, code, cp) {
+                if is_test {
+                    if let Some(end_byte) = item_end(toks, code, attr_end_cp + 1) {
+                        spans.push((toks[i].start, end_byte));
+                    }
+                }
+                cp = attr_end_cp + 1;
+                continue;
+            }
+        }
+        cp += 1;
+    }
+    spans
+}
+
+/// Parses an attribute starting at code position `cp` (on `#`). Returns
+/// the code position of the closing `]` and whether the attribute marks
+/// a test item: `#[test]`, or `#[cfg(...)]`/`#[cfg_attr(...)]` whose
+/// arguments mention `test` outside a `not(...)` group.
+fn parse_attr(src: &str, toks: &[Tok], code: &[usize], cp: usize) -> Option<(usize, bool)> {
+    let mut k = cp + 1;
+    // Optional inner-attribute bang.
+    if tok_is(toks, code, k, TokKind::Punct(b'!')) {
+        k += 1;
+    }
+    if !tok_is(toks, code, k, TokKind::Punct(b'[')) {
+        return None;
+    }
+    let first_ident = code.get(k + 1).map(|&i| &toks[i]);
+    let is_bare_test = matches!(first_ident, Some(t) if t.kind == TokKind::Ident && t.text(src) == "test")
+        && tok_is(toks, code, k + 2, TokKind::Punct(b']'));
+    let is_cfg = matches!(first_ident, Some(t) if t.kind == TokKind::Ident && t.text(src) == "cfg");
+    // Scan to the matching `]`, tracking whether `test` appears outside
+    // any `not(...)`.
+    let mut depth = 0i32;
+    let mut not_depths: Vec<i32> = Vec::new();
+    let mut mentions_test = false;
+    let mut pos = k;
+    loop {
+        let &idx = code.get(pos)?;
+        let t = &toks[idx];
+        match t.kind {
+            TokKind::Punct(b'[') => depth += 1,
+            TokKind::Punct(b']') => {
+                depth -= 1;
+                if depth == 0 {
+                    let is_test = is_bare_test || (is_cfg && mentions_test);
+                    return Some((pos, is_test));
+                }
+            }
+            TokKind::Punct(b'(') => {
+                let prev = code.get(pos.wrapping_sub(1)).map(|&i| &toks[i]);
+                if matches!(prev, Some(p) if p.kind == TokKind::Ident && p.text(src) == "not") {
+                    not_depths.push(depth);
+                }
+                depth += 1;
+            }
+            TokKind::Punct(b')') => {
+                depth -= 1;
+                if not_depths.last() == Some(&depth) {
+                    not_depths.pop();
+                }
+            }
+            TokKind::Ident if t.text(src) == "test" && not_depths.is_empty() => {
+                mentions_test = true;
+            }
+            _ => {}
+        }
+        pos += 1;
+    }
+}
+
+/// From code position `cp` (just past a test attribute), skips further
+/// attributes, then returns the end byte of the item: the matching `}`
+/// of its first top-level brace, or the `;` of a bodyless item.
+fn item_end(toks: &[Tok], code: &[usize], mut cp: usize) -> Option<usize> {
+    // Skip stacked attributes (`#[test] #[ignore] fn ...`).
+    while matches!(code.get(cp).map(|&i| toks[i].kind), Some(TokKind::Punct(b'#'))) {
+        let mut depth = 0i32;
+        loop {
+            let &idx = code.get(cp)?;
+            match toks[idx].kind {
+                TokKind::Punct(b'[') => depth += 1,
+                TokKind::Punct(b']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            cp += 1;
+        }
+        cp += 1;
+    }
+    // Find `{` or `;` at zero grouping depth.
+    let mut depth = 0i32;
+    let open = loop {
+        let &idx = code.get(cp)?;
+        match toks[idx].kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') => depth -= 1,
+            TokKind::Punct(b';') if depth == 0 => return Some(toks[idx].end),
+            TokKind::Punct(b'{') if depth == 0 => break cp,
+            _ => {}
+        }
+        cp += 1;
+    };
+    let mut braces = 0i32;
+    let mut pos = open;
+    loop {
+        let &idx = code.get(pos)?;
+        match toks[idx].kind {
+            TokKind::Punct(b'{') => braces += 1,
+            TokKind::Punct(b'}') => {
+                braces -= 1;
+                if braces == 0 {
+                    return Some(toks[idx].end);
+                }
+            }
+            _ => {}
+        }
+        pos += 1;
+    }
+}
+
+fn tok_is(toks: &[Tok], code: &[usize], cp: usize, kind: TokKind) -> bool {
+    matches!(code.get(cp), Some(&i) if toks[i].kind == kind)
+}
+
+/// All lintable `.rs` files under the workspace root, sorted. Walks
+/// `crates/` and the root `src/`; skips test-class directories and the
+/// vendored shims (see [`SKIP_DIRS`]).
+pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, LintError> {
+    if !root.join("Cargo.toml").is_file() || !root.join("crates").is_dir() {
+        return Err(LintError::NotAWorkspace {
+            path: root.to_path_buf(),
+        });
+    }
+    let mut files = Vec::new();
+    walk(&root.join("crates"), &mut files)?;
+    walk(&root.join("src"), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|source| LintError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every workspace source under `root`.
+pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
+    let files = workspace_files(root)?;
+    let mut report = Report::default();
+    for path in &files {
+        let rel = rel_of(root, path);
+        lint_one(path, &rel, &mut report)?;
+    }
+    Ok(report)
+}
+
+/// Lints explicit files. `rel_override`, when given, is the
+/// workspace-relative path used for rule applicability (so a fixture
+/// can be linted *as if* it lived at a governed path).
+pub fn lint_files(
+    root: &Path,
+    files: &[PathBuf],
+    rel_override: Option<&str>,
+) -> Result<Report, LintError> {
+    let mut report = Report::default();
+    for path in files {
+        let rel = match rel_override {
+            Some(r) => r.to_string(),
+            None => rel_of(root, path),
+        };
+        lint_one(path, &rel, &mut report)?;
+    }
+    Ok(report)
+}
+
+fn lint_one(path: &Path, rel: &str, report: &mut Report) -> Result<(), LintError> {
+    let src = std::fs::read_to_string(path).map_err(|source| LintError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let (findings, suppressed) = lint_source(rel, &src);
+    report.findings.extend(findings);
+    report.suppressed += suppressed;
+    report.files_scanned += 1;
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated form of `path`.
+pub fn rel_of(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_names() {
+        assert_eq!(crate_name_of("crates/core/src/build.rs"), "core");
+        assert_eq!(crate_name_of("src/lib.rs"), "dvicl");
+        assert_eq!(crate_name_of("weird/path.rs"), "");
+    }
+
+    #[test]
+    fn findings_inside_cfg_test_are_dropped() {
+        let src = "pub fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        let (findings, _) = lint_source("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_item() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }\n";
+        let (findings, _) = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "panic-freedom");
+    }
+
+    #[test]
+    fn nested_test_submodules_are_covered() {
+        let src = "#[cfg(test)]\nmod tests {\n    mod inner {\n        fn f() { x.unwrap(); }\n    }\n}\n";
+        let (findings, _) = lint_source("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn well_formed_pragma_suppresses_and_counts() {
+        let src = "fn f() {\n    x.unwrap() // dvicl-lint: allow(panic-freedom) -- x checked non-empty above\n}\n";
+        let (findings, suppressed) = lint_source("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn pragma_on_previous_line_suppresses() {
+        let src = "fn f() {\n    // dvicl-lint: allow(panic-freedom) -- invariant: set by new()\n    x.unwrap()\n}\n";
+        let (findings, suppressed) = lint_source("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn missing_reason_pragma_is_a_finding_and_suppresses_nothing() {
+        let src = "fn f() {\n    x.unwrap() // dvicl-lint: allow(panic-freedom)\n}\n";
+        let (findings, suppressed) = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(suppressed, 0);
+        let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&PRAGMA_MISSING_REASON), "{rules:?}");
+        assert!(rules.contains(&"panic-freedom"), "{rules:?}");
+    }
+
+    #[test]
+    fn unknown_rule_pragma_is_a_finding() {
+        let src = "fn f() { // dvicl-lint: allow(no-such-rule) -- why not\n}\n";
+        let (findings, _) = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, PRAGMA_UNKNOWN_RULE);
+    }
+}

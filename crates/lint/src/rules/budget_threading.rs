@@ -1,0 +1,161 @@
+//! budget-threading: governed hot modules may not contain unmetered
+//! loops or recursion.
+//!
+//! The refinement/search/build/SSM recursions are exactly where a graph
+//! chosen by an adversary (or just a hard one) makes the pipeline run
+//! away. PR 1 threads a [`Budget`] (deadline + work cap + cancel token)
+//! through them; this rule keeps that property from rotting: inside the
+//! governed modules, every function that loops or calls itself must
+//! mention the budget machinery somewhere in its signature or body.
+//!
+//! The check is intentionally a *reference* check, not a data-flow
+//! analysis: bounded helpers (an O(k) hash mix, a cell scan metered by
+//! the caller) are expected to carry a suppression pragma stating who
+//! meters them, which keeps the audit trail in the source.
+
+use super::{FileCtx, Finding, Severity};
+use crate::lexer::{Tok, TokKind};
+
+pub const ID: &str = "budget-threading";
+
+/// The governed modules (workspace-relative paths).
+pub const GOVERNED_MODULES: [&str; 5] = [
+    "crates/canon/src/search.rs",
+    "crates/core/src/build.rs",
+    "crates/core/src/ssm.rs",
+    "crates/core/src/sm.rs",
+    "crates/refine/src/partition.rs",
+];
+
+/// Identifiers that count as "references the budget machinery".
+const BUDGET_IDENTS: [&str; 6] = ["Budget", "budget", "CancelToken", "cancel", "spend", "gov"];
+
+/// Loop keywords.
+const LOOP_KEYWORDS: [&str; 3] = ["for", "while", "loop"];
+
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    if !GOVERNED_MODULES.contains(&ctx.rel) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for func in functions(ctx) {
+        if ctx.in_test(func.fn_tok.start) {
+            continue;
+        }
+        let body = &ctx.toks[func.body_start..func.body_end];
+        let loops = body.iter().any(|t| {
+            t.kind == TokKind::Ident && LOOP_KEYWORDS.contains(&ctx.text(t))
+        });
+        let recurses = body.windows(2).any(|w| {
+            w[0].kind == TokKind::Ident
+                && ctx.text(&w[0]) == func.name
+                && w[1].kind == TokKind::Punct(b'(')
+        });
+        if !loops && !recurses {
+            continue;
+        }
+        // Signature + body both count: `budget: &Budget` in the
+        // parameter list is the normal threading pattern.
+        let sig_and_body = &ctx.toks[func.sig_start..func.body_end];
+        let governed = sig_and_body.iter().any(|t| {
+            t.kind == TokKind::Ident && BUDGET_IDENTS.contains(&ctx.text(t))
+        });
+        if !governed {
+            let how = if recurses { "recursive" } else { "looping" };
+            out.push(ctx.finding(
+                ID,
+                Severity::Deny,
+                func.name_tok,
+                format!(
+                    "{how} function `{}` in a governed module neither takes nor spends a \
+                     `Budget`; thread the budget through it or state who meters it in a pragma",
+                    func.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// A function item located in the token stream.
+struct Func<'a> {
+    name: String,
+    /// Index (into `ctx.toks`) of the `fn` keyword.
+    sig_start: usize,
+    /// Index of the token *after* the body's opening `{`.
+    body_start: usize,
+    /// Index of the body's closing `}` (exclusive bound for slicing).
+    body_end: usize,
+    fn_tok: &'a Tok,
+    name_tok: &'a Tok,
+}
+
+/// Scans the token stream for `fn name ... { body }` items (including
+/// nested ones and methods in impls). The body is the first `{` after
+/// the name at zero parenthesis depth — generics and where-clauses
+/// cannot contain braces, so this is exact for real Rust code.
+fn functions<'a>(ctx: &'a FileCtx) -> Vec<Func<'a>> {
+    let toks = ctx.toks;
+    let mut out = Vec::new();
+    let mut cp = 0; // code position
+    while cp < ctx.code.len() {
+        let i = ctx.code[cp];
+        let tok = &toks[i];
+        if tok.kind == TokKind::Ident && ctx.text(tok) == "fn" {
+            if let Some(func) = parse_fn(ctx, cp, i) {
+                out.push(func);
+            }
+        }
+        cp += 1;
+    }
+    out
+}
+
+fn parse_fn<'a>(ctx: &'a FileCtx, cp: usize, fn_idx: usize) -> Option<Func<'a>> {
+    let toks = ctx.toks;
+    let name_idx = *ctx.code.get(cp + 1)?;
+    let name_tok = &toks[name_idx];
+    if name_tok.kind != TokKind::Ident {
+        return None; // `fn` in a type position such as `Fn(...)` patterns
+    }
+    // Find the body's opening brace: first `{` at paren depth 0. A `;`
+    // at depth 0 first means a bodyless declaration (trait method).
+    let mut depth = 0i32;
+    let mut k = cp + 2;
+    let body_open = loop {
+        let idx = *ctx.code.get(k)?;
+        match toks[idx].kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') => depth -= 1,
+            TokKind::Punct(b'{') if depth == 0 => break idx,
+            TokKind::Punct(b';') if depth == 0 => return None,
+            _ => {}
+        }
+        k += 1;
+    };
+    // Match braces to the end of the body.
+    let mut braces = 1i32;
+    let mut j = k + 1;
+    let body_close = loop {
+        let idx = *ctx.code.get(j)?;
+        match toks[idx].kind {
+            TokKind::Punct(b'{') => braces += 1,
+            TokKind::Punct(b'}') => {
+                braces -= 1;
+                if braces == 0 {
+                    break idx;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    };
+    Some(Func {
+        name: ctx.text(name_tok).to_string(),
+        sig_start: fn_idx,
+        body_start: body_open + 1,
+        body_end: body_close,
+        fn_tok: &toks[fn_idx],
+        name_tok,
+    })
+}

@@ -1,0 +1,54 @@
+//! offline-guard: library crates must not reach for the network or
+//! spawn processes.
+//!
+//! The reproduction is built to run hermetically (vendored shims, no
+//! registry access); a `std::net` listener or `std::process::Command`
+//! creeping into a library crate would break that and widen the attack
+//! surface of a pipeline that already parses untrusted bytes. Only the
+//! `cli` front-end and the `bench` harness may touch `std::process`
+//! (exit codes, spawning the binary under test).
+
+use super::{FileCtx, Finding, Severity, code_tok, is_ident, is_punct};
+use crate::lexer::TokKind;
+
+pub const ID: &str = "offline-guard";
+
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for pos in 0..ctx.code.len() {
+        let Some(tok) = code_tok(ctx, pos, 0) else {
+            continue;
+        };
+        if tok.kind != TokKind::Ident || ctx.text(tok) != "std" {
+            continue;
+        }
+        // `std :: net` or `std :: process`
+        if !(is_punct(ctx, pos, 1, b':') && is_punct(ctx, pos, 2, b':')) {
+            continue;
+        }
+        let Some(module) = code_tok(ctx, pos, 3) else {
+            continue;
+        };
+        if module.kind != TokKind::Ident {
+            continue;
+        }
+        let m = ctx.text(module);
+        if m == "net" || m == "process" {
+            // Keep the message specific for the common Command case.
+            let detail = if m == "process" && is_punct(ctx, pos, 4, b':') && is_ident(ctx, pos, 6, "Command") {
+                "spawns a subprocess"
+            } else if m == "net" {
+                "opens the network"
+            } else {
+                "touches process control"
+            };
+            out.push(ctx.finding(
+                ID,
+                Severity::Deny,
+                tok,
+                format!("`std::{m}` in a library crate {detail}; only `cli` and `bench` may"),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,59 @@
+//! panic-freedom: panicking constructs are banned in non-test code.
+//!
+//! The DviCL pipeline ingests untrusted bytes and runs under budgets;
+//! PR 1's contract is that malformed input and exhaustion surface as
+//! typed `DviclError`s, never as a process abort deep inside the
+//! refinement or search recursion. This rule bans the panicking macros
+//! and the panicking `Option`/`Result` adapters everywhere outside
+//! `#[cfg(test)]` items. True invariants ("a non-identity permutation
+//! moves a point") are annotated with a suppression pragma whose reason
+//! states the invariant.
+
+use super::{FileCtx, Finding, Severity, code_tok, is_punct};
+use crate::lexer::TokKind;
+
+pub const ID: &str = "panic-freedom";
+
+const BANNED_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const BANNED_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for pos in 0..ctx.code.len() {
+        let Some(tok) = code_tok(ctx, pos, 0) else {
+            continue;
+        };
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let name = ctx.text(tok);
+        // `panic!(` / `unreachable!(` / `todo!(` / `unimplemented!(`.
+        if BANNED_MACROS.contains(&name) && is_punct(ctx, pos, 1, b'!') {
+            out.push(ctx.finding(
+                ID,
+                Severity::Deny,
+                tok,
+                format!("`{name}!` in non-test code; return a typed `DviclError` instead"),
+            ));
+            continue;
+        }
+        // `.unwrap(` / `.expect(` — exact identifier match, so the
+        // non-panicking `unwrap_or*` family never trips.
+        if BANNED_METHODS.contains(&name)
+            && pos > 0
+            && is_punct(ctx, pos - 1, 0, b'.')
+            && is_punct(ctx, pos, 1, b'(')
+        {
+            out.push(ctx.finding(
+                ID,
+                Severity::Deny,
+                tok,
+                format!(
+                    "`.{name}()` in non-test code; propagate a typed `DviclError` \
+                     (or state the invariant in a suppression pragma)"
+                ),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,77 @@
+//! unsafe-audit: every `unsafe` block or `unsafe impl` must be
+//! immediately preceded by a `// SAFETY:` comment.
+//!
+//! `unsafe fn` *declarations* are not audited here — their dangerous
+//! interior operations must sit in `unsafe { }` blocks anyway because
+//! the workspace denies `unsafe_op_in_unsafe_fn`, and those blocks are
+//! what this rule audits.
+//!
+//! "Immediately preceding" means: a trailing comment on the same line,
+//! or the run of comment/attribute lines directly above the construct
+//! (doc comments and `#[...]` lines may sit between the SAFETY comment
+//! and the `unsafe` keyword, blank lines may not).
+
+use super::{FileCtx, Finding, Severity, code_tok, is_punct};
+use crate::lexer::TokKind;
+
+pub const ID: &str = "unsafe-audit";
+
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    let lines: Vec<&str> = ctx.src.lines().collect();
+    let mut out = Vec::new();
+    for pos in 0..ctx.code.len() {
+        let Some(tok) = code_tok(ctx, pos, 0) else {
+            continue;
+        };
+        if tok.kind != TokKind::Ident || ctx.text(tok) != "unsafe" {
+            continue;
+        }
+        // Audit `unsafe {` and `unsafe impl`; skip `unsafe fn`/`unsafe trait`.
+        let what = if is_punct(ctx, pos, 1, b'{') {
+            "unsafe block"
+        } else if matches!(code_tok(ctx, pos, 1), Some(t) if t.kind == TokKind::Ident && ctx.text(t) == "impl")
+        {
+            "unsafe impl"
+        } else {
+            continue;
+        };
+        if !has_safety_comment(&lines, tok.line) {
+            out.push(ctx.finding(
+                ID,
+                Severity::Deny,
+                tok,
+                format!("{what} without an immediately preceding `// SAFETY:` comment"),
+            ));
+        }
+    }
+    out
+}
+
+/// Looks for `SAFETY:` on the construct's own line (trailing comment)
+/// or in the contiguous run of comment/attribute lines directly above.
+fn has_safety_comment(lines: &[&str], line_1based: u32) -> bool {
+    let idx = (line_1based as usize).saturating_sub(1);
+    if line_has_safety(lines.get(idx).copied().unwrap_or("")) {
+        return true;
+    }
+    let mut k = idx;
+    while k > 0 {
+        k -= 1;
+        let t = lines[k].trim();
+        let is_annotation = t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![");
+        if !is_annotation {
+            return false;
+        }
+        if line_has_safety(t) {
+            return true;
+        }
+    }
+    false
+}
+
+fn line_has_safety(line: &str) -> bool {
+    match line.find("//") {
+        Some(i) => line[i..].contains("SAFETY:"),
+        None => false,
+    }
+}

@@ -1,0 +1,25 @@
+//! Clean fixture (linted as a governed module): the loop spends from a
+//! budget, the bounded helper states who meters it, and a loop-free
+//! function needs nothing.
+
+pub fn metered_scan(xs: &[u32], budget: &Budget) -> Result<u32, DviclError> {
+    let mut acc = 0;
+    for &x in xs {
+        budget.spend(1)?;
+        acc += x;
+    }
+    Ok(acc)
+}
+
+// dvicl-lint: allow(budget-threading) -- O(1) helper; metered_scan spends one unit per element before calling it
+pub fn bounded_helper(xs: &[u32]) -> u32 {
+    let mut h = 0;
+    for &x in xs.iter().take(4) {
+        h ^= x;
+    }
+    h
+}
+
+pub fn no_loops(a: u32, b: u32) -> u32 {
+    a.wrapping_mul(b)
+}

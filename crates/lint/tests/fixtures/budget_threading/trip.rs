@@ -1,0 +1,17 @@
+//! Tripping fixture (linted as a governed module): loops and
+//! self-recursion with no reference to the budget machinery.
+
+pub fn unmetered_scan(xs: &[u32]) -> u32 {
+    let mut acc = 0;
+    for &x in xs {
+        acc += x; // finding: loop, no budget
+    }
+    acc
+}
+
+pub fn unmetered_descend(depth: u32) -> u32 {
+    if depth == 0 {
+        return 0;
+    }
+    1 + unmetered_descend(depth - 1) // finding: recursion, no budget
+}

@@ -1,0 +1,19 @@
+//! Clean fixture: typed errors throughout. A `format!` nested inside a
+//! typed constructor is the sanctioned way to carry detail text and
+//! must not trip the rule (regression guard for the matcher).
+
+pub fn typed(flag: bool) -> Result<u32, DviclError> {
+    if flag {
+        return Err(DviclError::invalid(format!("flag was {flag}")));
+    }
+    Ok(7)
+}
+
+pub fn mapped(x: Result<u32, ParseError>) -> Result<u32, DviclError> {
+    x.map_err(|e| DviclError::Parse(e))
+}
+
+pub fn not_an_error_string(n: u32) -> String {
+    // to_string outside an error position is fine.
+    n.to_string()
+}

@@ -1,0 +1,19 @@
+//! Tripping fixture: all three stringly-error escape hatches.
+
+use std::error::Error;
+
+pub fn boxed() -> Result<(), Box<dyn Error>> {
+    Ok(()) // finding above: Box<dyn Error>
+}
+
+pub fn stringly(flag: bool) -> Result<u32, String> {
+    // finding above: Result<_, String>
+    if flag {
+        return Err(format!("flag was {flag}")); // finding: Err(format!)
+    }
+    Ok(7)
+}
+
+pub fn converted(x: Result<u32, std::num::ParseIntError>) -> Result<u32, String> {
+    x.map_err(|e| e.to_string()) // finding: map_err(..to_string())
+}

@@ -1,0 +1,12 @@
+//! Clean fixture: hermetic std usage only.
+
+use std::time::Duration;
+
+pub fn wait() -> Duration {
+    Duration::from_millis(5)
+}
+
+pub fn processes_in_prose() {
+    // The word process (and even std::net in a comment) is fine.
+    let _ = "a string mentioning std::process::Command is data, not code";
+}

@@ -1,0 +1,11 @@
+//! Tripping fixture: network and subprocess reach-outs.
+
+use std::net::TcpStream; // finding: std::net
+
+pub fn spawn_helper() {
+    let _ = std::process::Command::new("curl"); // finding: std::process::Command
+}
+
+pub fn dial() -> Option<TcpStream> {
+    None
+}

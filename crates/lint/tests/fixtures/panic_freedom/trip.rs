@@ -1,0 +1,14 @@
+//! Tripping fixture: every banned panicking construct in non-test code.
+
+pub fn lookup(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap(); // finding: .unwrap()
+    let second = xs.get(1).expect("second element"); // finding: .expect()
+    if *first > *second {
+        panic!("boom"); // finding: panic!
+    }
+    match first {
+        0 => todo!(), // finding: todo!
+        1 => unimplemented!(), // finding: unimplemented!
+        _ => unreachable!(), // finding: unreachable!
+    }
+}

@@ -1,0 +1,6 @@
+//! A pragma without a reason: it must itself be a finding, and the
+//! violation it names must stay active.
+
+pub fn f(xs: &[u32]) -> u32 {
+    xs.first().unwrap() // dvicl-lint: allow(panic-freedom)
+}

@@ -1,0 +1,6 @@
+//! A pragma naming a rule that does not exist must be a finding.
+
+pub fn f() -> u32 {
+    // dvicl-lint: allow(no-such-rule) -- reason present but rule unknown
+    7
+}

@@ -1,0 +1,18 @@
+//! Clean fixture: every unsafe construct carries a SAFETY comment,
+//! trailing or on the run of comment lines directly above.
+
+pub fn peek(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer into a live, initialized buffer.
+    unsafe { *p }
+}
+
+pub fn peek_trailing(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: p is validated non-null by the caller.
+}
+
+// SAFETY: Wrapper's pointer is only dereferenced on the owning thread;
+// sending the handle is sound because access is externally fenced.
+#[allow(dead_code)]
+unsafe impl Send for Wrapper {}
+
+pub struct Wrapper(*mut u8);

@@ -1,0 +1,9 @@
+//! Tripping fixture: undocumented unsafe block and unsafe impl.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p } // finding: no SAFETY comment
+}
+
+unsafe impl Send for Wrapper {} // finding: no SAFETY comment
+
+pub struct Wrapper(*mut u8);

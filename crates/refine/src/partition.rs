@@ -40,16 +40,19 @@ fn mix(h: u64, x: u64) -> u64 {
 
 impl Partition {
     /// Builds the internal representation from a [`Coloring`].
+    // dvicl-lint: allow(budget-threading) -- one-shot O(n) construction; refinement itself is metered in run()
     pub fn from_coloring(n: usize, pi: &Coloring) -> Self {
         assert_eq!(n, pi.n());
         let mut lab = Vec::with_capacity(n);
         let mut cell_len = vec![0u32; n];
         for cell in pi.cells() {
+            // dvicl-lint: allow(narrowing-cast) -- a cell holds at most n <= V::MAX vertices
             cell_len[lab.len()] = cell.len() as u32;
             lab.extend_from_slice(cell);
         }
         let mut pos = vec![0u32; n];
         for (i, &v) in lab.iter().enumerate() {
+            // dvicl-lint: allow(narrowing-cast) -- i indexes lab, which has n <= V::MAX entries
             pos[v as usize] = i as u32;
         }
         let mut cell_start = vec![0u32; n];
@@ -57,6 +60,7 @@ impl Partition {
         while s < n {
             let len = cell_len[s] as usize;
             for i in s..s + len {
+                // dvicl-lint: allow(narrowing-cast) -- s < n <= V::MAX
                 cell_start[lab[i] as usize] = s as u32;
             }
             s += len;
@@ -92,6 +96,7 @@ impl Partition {
     }
 
     /// Converts back to a [`Coloring`].
+    // dvicl-lint: allow(budget-threading) -- one-shot O(n) read-out of the final partition; refinement itself is metered in run()
     pub fn to_coloring(&self) -> Coloring {
         let n = self.n();
         let mut cells = Vec::new();
@@ -101,6 +106,7 @@ impl Partition {
             cells.push(self.lab[s..s + len].to_vec());
             s += len;
         }
+        // dvicl-lint: allow(panic-freedom) -- lab is a permutation of 0..n and the cell spans tile it, so the cells partition 0..n
         Coloring::from_cells(cells).expect("partition is always a valid coloring")
     }
 
@@ -111,10 +117,12 @@ impl Partition {
         }
     }
 
+    // dvicl-lint: allow(budget-threading) -- O(#cells) seeding of the worklist; the run() loop that drains it is metered
     fn enqueue_all_cells(&mut self) {
         let n = self.n();
         let mut s = 0usize;
         while s < n {
+            // dvicl-lint: allow(narrowing-cast) -- s < n <= V::MAX
             self.enqueue(s as u32);
             s += self.cell_len[s] as usize;
         }
@@ -126,6 +134,7 @@ impl Partition {
     pub fn refine(&mut self, g: &Graph) -> u64 {
         self.seed_refine();
         self.run(g, 0x5ee2_c3a1_d00d_f00d, None)
+            // dvicl-lint: allow(panic-freedom) -- run() only errs on budget exhaustion, and no budget is passed here
             .expect("un-budgeted refinement cannot fail")
     }
 
@@ -137,6 +146,7 @@ impl Partition {
         self.run(g, 0x5ee2_c3a1_d00d_f00d, Some(budget))
     }
 
+    // dvicl-lint: allow(budget-threading) -- O(#cells) pass recording pre-existing singletons; run() meters the refinement
     fn seed_refine(&mut self) {
         let n = self.n();
         let mut s = 0usize;
@@ -156,6 +166,7 @@ impl Partition {
     pub fn individualize_and_refine(&mut self, g: &Graph, v: V) -> u64 {
         let seed = self.seed_individualize(v);
         self.run(g, seed, None)
+            // dvicl-lint: allow(panic-freedom) -- run() only errs on budget exhaustion, and no budget is passed here
             .expect("un-budgeted refinement cannot fail")
     }
 
@@ -170,6 +181,7 @@ impl Partition {
         self.run(g, seed, Some(budget))
     }
 
+    // dvicl-lint: allow(budget-threading) -- O(cell length) splice of {v} to the cell front; run() meters the refinement that follows
     fn seed_individualize(&mut self, v: V) -> u64 {
         let s = self.cell_start[v as usize];
         let len = self.cell_len[s as usize];
@@ -214,6 +226,7 @@ impl Partition {
     }
 
     /// Uses the cell at start `s` as a splitter; returns the updated trace.
+    // dvicl-lint: allow(budget-threading) -- one splitter application; run() spends one budget unit per split_by call
     fn split_by(&mut self, g: &Graph, s: u32, mut trace: u64) -> u64 {
         let len = self.cell_len[s as usize] as usize;
         let s = s as usize;
@@ -257,6 +270,7 @@ impl Partition {
 
     /// Splits the cell starting at `c` by the current `cnt` values,
     /// fragments ordered by ascending count. Enqueues all fragments.
+    // dvicl-lint: allow(budget-threading) -- helper of split_by, covered by the same one-unit-per-splitter metering in run()
     fn split_cell(&mut self, c: u32, mut trace: u64) -> u64 {
         let c = c as usize;
         let len = self.cell_len[c] as usize;
@@ -286,8 +300,11 @@ impl Partition {
                 while j < len && members[j].0 == count {
                     j += 1;
                 }
+                // dvicl-lint: allow(narrowing-cast) -- fragment length and start are < n <= V::MAX
                 if (j - i) as u32 > largest_len {
+                    // dvicl-lint: allow(narrowing-cast) -- fragment length and start are < n <= V::MAX
                     largest_len = (j - i) as u32;
+                    // dvicl-lint: allow(narrowing-cast) -- fragment length and start are < n <= V::MAX
                     largest_start = (c + i) as u32;
                 }
                 i = j;
@@ -301,11 +318,14 @@ impl Partition {
             while j < len && members[j].0 == count {
                 j += 1;
             }
+            // dvicl-lint: allow(narrowing-cast) -- fragment length and start are < n <= V::MAX
             let frag_start = (c + i) as u32;
+            // dvicl-lint: allow(narrowing-cast) -- fragment length and start are < n <= V::MAX
             let frag_len = (j - i) as u32;
             for (k, &(_, v)) in members[i..j].iter().enumerate() {
                 let p = c + i + k;
                 self.lab[p] = v;
+                // dvicl-lint: allow(narrowing-cast) -- p < n <= V::MAX
                 self.pos[v as usize] = p as u32;
                 self.cell_start[v as usize] = frag_start;
             }
