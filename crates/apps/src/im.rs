@@ -48,6 +48,7 @@ pub fn try_spread(
     cfg: &IcConfig,
     budget: &Budget,
 ) -> Result<f64, DviclError> {
+    let _span = dvicl_obs::span("apps.im");
     budget.check()?;
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let n = g.n();
@@ -122,6 +123,7 @@ pub fn try_select_seeds_pruned(
     max_candidates: usize,
     budget: &Budget,
 ) -> Result<Vec<V>, DviclError> {
+    let _span = dvicl_obs::span("apps.im");
     budget.check()?;
     let n = g.n();
     if n == 0 || k == 0 {

@@ -4,14 +4,15 @@
 //! Paper claim reproduced: the overwhelming majority of orbit cells are
 //! singletons, which is what makes DivideI/DivideS effective.
 
-use dvicl_bench::suite::{print_header, print_row};
-use dvicl_core::{aut, build_autotree, DviclOptions};
-use dvicl_graph::Coloring;
+use dvicl_bench::suite::{self, print_header, print_row, Recorder};
+use dvicl_core::{aut, DviclOptions};
 
 #[global_allocator]
 static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
 
 fn main() {
+    suite::init_obs();
+    let mut rec = Recorder::new("table1");
     let widths = [16, 9, 10, 7, 7, 9, 10];
     println!("Table 1: summarization of real-graph analogs");
     print_header(
@@ -20,8 +21,18 @@ fn main() {
     );
     for d in dvicl_data::social_suite() {
         let g = (d.build)();
-        let tree = build_autotree(&g, &Coloring::unit(g.n()), &DviclOptions::default());
-        let mut orbits = aut::orbits(&tree);
+        let (run, tree) = suite::build_tree(&g, &DviclOptions::default());
+        rec.record(d.name, "dvicl", &run);
+        let (cells, singletons) = match tree {
+            Some(tree) => {
+                let mut orbits = aut::orbits(&tree);
+                (
+                    orbits.count().to_string(),
+                    orbits.count_singletons().to_string(),
+                )
+            }
+            None => ("-".to_string(), "-".to_string()),
+        };
         print_row(
             &[
                 d.name.to_string(),
@@ -29,10 +40,11 @@ fn main() {
                 g.m().to_string(),
                 g.max_degree().to_string(),
                 format!("{:.2}", g.avg_degree()),
-                orbits.count().to_string(),
-                orbits.count_singletons().to_string(),
+                cells,
+                singletons,
             ],
             &widths,
         );
     }
+    rec.write();
 }

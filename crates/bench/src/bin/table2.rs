@@ -4,15 +4,16 @@
 //! very few orbit cells and no singletons at all, the opposite profile of
 //! the real graphs.
 
-use dvicl_bench::suite::{print_header, print_row};
+use dvicl_bench::suite::{self, print_header, print_row, Recorder};
 use dvicl_canon::Config;
-use dvicl_core::{aut, build_autotree, DviclOptions};
-use dvicl_graph::Coloring;
+use dvicl_core::{aut, DviclOptions};
 
 #[global_allocator]
 static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
 
 fn main() {
+    suite::init_obs();
+    let mut rec = Recorder::new("table2");
     let widths = [16, 9, 10, 7, 7, 9, 10];
     println!("Table 2: summarization of benchmark graphs");
     print_header(
@@ -27,8 +28,18 @@ fn main() {
             leaf_config: Config::traces_like(),
             ..DviclOptions::default()
         };
-        let tree = build_autotree(&g, &Coloring::unit(g.n()), &opts);
-        let mut orbits = aut::orbits(&tree);
+        let (run, tree) = suite::build_tree(&g, &opts);
+        rec.record(d.name, "dvicl+traces", &run);
+        let (cells, singletons) = match tree {
+            Some(tree) => {
+                let mut orbits = aut::orbits(&tree);
+                (
+                    orbits.count().to_string(),
+                    orbits.count_singletons().to_string(),
+                )
+            }
+            None => ("-".to_string(), "-".to_string()),
+        };
         print_row(
             &[
                 d.name.to_string(),
@@ -36,10 +47,11 @@ fn main() {
                 g.m().to_string(),
                 g.max_degree().to_string(),
                 format!("{:.2}", g.avg_degree()),
-                orbits.count().to_string(),
-                orbits.count_singletons().to_string(),
+                cells,
+                singletons,
             ],
             &widths,
         );
     }
+    rec.write();
 }

@@ -6,14 +6,15 @@
 //! (2) the web-graph analogs have a few, small non-singleton leaves;
 //! (3) AutoTrees are shallow.
 
-use dvicl_bench::suite::{print_header, print_row};
-use dvicl_core::{build_autotree, DviclOptions};
-use dvicl_graph::Coloring;
+use dvicl_bench::suite::{self, print_header, print_row, Recorder};
+use dvicl_core::DviclOptions;
 
 #[global_allocator]
 static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
 
 fn main() {
+    suite::init_obs();
+    let mut rec = Recorder::new("table3");
     let widths = [16, 10, 11, 14, 9, 6];
     println!("Table 3: AutoTree structure on real-graph analogs");
     print_header(
@@ -22,18 +23,27 @@ fn main() {
     );
     for d in dvicl_data::social_suite() {
         let g = (d.build)();
-        let tree = build_autotree(&g, &Coloring::unit(g.n()), &DviclOptions::default());
-        let s = tree.stats();
-        print_row(
-            &[
-                d.name.to_string(),
-                s.total_nodes.to_string(),
-                s.singleton_leaves.to_string(),
-                s.non_singleton_leaves.to_string(),
-                format!("{:.2}", s.avg_non_singleton_size),
-                s.depth.to_string(),
-            ],
-            &widths,
-        );
+        let (run, tree) = suite::build_tree(&g, &DviclOptions::default());
+        rec.record(d.name, "dvicl", &run);
+        let cols = match tree {
+            Some(tree) => {
+                let s = tree.stats();
+                vec![
+                    d.name.to_string(),
+                    s.total_nodes.to_string(),
+                    s.singleton_leaves.to_string(),
+                    s.non_singleton_leaves.to_string(),
+                    format!("{:.2}", s.avg_non_singleton_size),
+                    s.depth.to_string(),
+                ]
+            }
+            None => {
+                let mut cols = vec![d.name.to_string()];
+                cols.extend(std::iter::repeat_n("-".to_string(), 5));
+                cols
+            }
+        };
+        print_row(&cols, &widths);
     }
+    rec.write();
 }

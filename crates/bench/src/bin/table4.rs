@@ -4,15 +4,16 @@
 //! (the whole graph is one non-singleton leaf), so DviCL cannot help there
 //! — the exceptions being the SAT-circuit graphs.
 
-use dvicl_bench::suite::{print_header, print_row};
+use dvicl_bench::suite::{self, print_header, print_row, Recorder};
 use dvicl_canon::Config;
-use dvicl_core::{build_autotree, DviclOptions};
-use dvicl_graph::Coloring;
+use dvicl_core::DviclOptions;
 
 #[global_allocator]
 static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
 
 fn main() {
+    suite::init_obs();
+    let mut rec = Recorder::new("table4");
     let widths = [16, 10, 11, 14, 9, 6];
     println!("Table 4: AutoTree structure on benchmark graphs");
     print_header(
@@ -27,18 +28,27 @@ fn main() {
             leaf_config: Config::traces_like(),
             ..DviclOptions::default()
         };
-        let tree = build_autotree(&g, &Coloring::unit(g.n()), &opts);
-        let s = tree.stats();
-        print_row(
-            &[
-                d.name.to_string(),
-                s.total_nodes.to_string(),
-                s.singleton_leaves.to_string(),
-                s.non_singleton_leaves.to_string(),
-                format!("{:.2}", s.avg_non_singleton_size),
-                s.depth.to_string(),
-            ],
-            &widths,
-        );
+        let (run, tree) = suite::build_tree(&g, &opts);
+        rec.record(d.name, "dvicl+traces", &run);
+        let cols = match tree {
+            Some(tree) => {
+                let s = tree.stats();
+                vec![
+                    d.name.to_string(),
+                    s.total_nodes.to_string(),
+                    s.singleton_leaves.to_string(),
+                    s.non_singleton_leaves.to_string(),
+                    format!("{:.2}", s.avg_non_singleton_size),
+                    s.depth.to_string(),
+                ]
+            }
+            None => {
+                let mut cols = vec![d.name.to_string()];
+                cols.extend(std::iter::repeat_n("-".to_string(), 5));
+                cols
+            }
+        };
+        print_row(&cols, &widths);
     }
+    rec.write();
 }

@@ -8,16 +8,18 @@
 //! the same time and memory (the AutoTree dominates, the leaf labeler is
 //! marginal).
 
-use dvicl_bench::suite::{engines, print_header, print_row, run_baseline, run_dvicl};
+use dvicl_bench::suite::{self, engines, print_header, print_row, run_baseline, run_dvicl, Recorder};
 
 #[global_allocator]
 static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
 
 fn main() {
+    suite::init_obs();
+    let mut rec = Recorder::new("table5");
     let widths = [16, 8, 9, 9, 10, 8, 9, 9, 10, 8, 9, 9, 10];
     println!(
         "Table 5: performance on real-graph analogs (budget per baseline run: {:?})",
-        dvicl_bench::suite::budget()
+        suite::budget()
     );
     print_header(
         &[
@@ -29,14 +31,17 @@ fn main() {
     for d in dvicl_data::social_suite() {
         let g = (d.build)();
         let mut cols = vec![d.name.to_string()];
-        for (_, config) in engines() {
+        for (name, config) in engines() {
             let base = run_baseline(&g, &config);
+            rec.record(d.name, name, &base);
             cols.push(base.fmt_time());
             cols.push(base.fmt_mem());
             let (dv, _) = run_dvicl(&g, &config);
+            rec.record(d.name, &format!("dvicl+{name}"), &dv);
             cols.push(dv.fmt_time());
             cols.push(dv.fmt_mem());
         }
         print_row(&cols, &widths);
     }
+    rec.write();
 }

@@ -8,16 +8,17 @@
 //! AutoTree is fast.
 
 use dvicl_apps::im::{select_seeds, IcConfig};
-use dvicl_bench::suite::{print_header, print_row};
-use dvicl_core::ssm::{count_images, SsmIndex};
-use dvicl_core::{build_autotree, DviclOptions};
-use dvicl_graph::Coloring;
-use std::time::Instant;
+use dvicl_bench::suite::{self, print_header, print_row, Recorder};
+use dvicl_core::ssm::{try_count_images, SsmIndex};
+use dvicl_core::DviclOptions;
+use dvicl_govern::Budget;
 
 #[global_allocator]
 static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
 
 fn main() {
+    suite::init_obs();
+    let mut rec = Recorder::new("table6");
     let widths = [16, 14, 9, 14, 9];
     println!("Table 6: SSM on seed sets S selected by influence maximization");
     print_header(
@@ -34,23 +35,36 @@ fn main() {
     };
     for d in dvicl_data::social_suite() {
         let g = (d.build)();
-        let tree = build_autotree(&g, &Coloring::unit(g.n()), &DviclOptions::default());
+        let (build_run, tree) = suite::build_tree(&g, &DviclOptions::default());
+        rec.record(d.name, "dvicl", &build_run);
+        let Some(tree) = tree else {
+            print_row(
+                &[
+                    d.name.to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ],
+                &widths,
+            );
+            continue;
+        };
         let index = SsmIndex::new(&tree);
         let mut cols = vec![d.name.to_string()];
         // Greedy seeds are prefix-nested: one k=100 run serves both rows.
         let seeds100 = select_seeds(&g, 100, &ic);
         for k in [10usize, 100] {
             let seeds = &seeds100[..k];
-            let t0 = Instant::now();
-            let count = count_images(&tree, &index, seeds);
-            let secs = t0.elapsed().as_secs_f64();
-            cols.push(count.to_scientific());
-            cols.push(if secs < 0.01 {
-                "<0.01".into()
-            } else {
-                format!("{secs:.2}")
-            });
+            // Counting honors the same wall-clock budget as the builds.
+            let limits = Budget::with_deadline(suite::budget());
+            let (run, count) =
+                suite::measure(|| try_count_images(&tree, &index, seeds, &limits).ok());
+            rec.record(d.name, &format!("ssm_count_k{k}"), &run);
+            cols.push(count.map_or_else(|| "-".to_string(), |c| c.to_scientific()));
+            cols.push(run.fmt_time());
         }
         print_row(&cols, &widths);
     }
+    rec.write();
 }

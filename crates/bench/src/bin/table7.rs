@@ -9,10 +9,9 @@
 use dvicl_apps::clique::{all_max_cliques, max_clique};
 use dvicl_apps::cluster::cluster_by_symmetry;
 use dvicl_apps::triangles::list_triangles;
-use dvicl_bench::suite::{print_header, print_row};
+use dvicl_bench::suite::{self, print_header, print_row, Recorder};
 use dvicl_core::ssm::SsmIndex;
-use dvicl_core::{build_autotree, DviclOptions};
-use dvicl_graph::Coloring;
+use dvicl_core::DviclOptions;
 
 #[global_allocator]
 static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
@@ -21,6 +20,8 @@ const CLIQUE_LIMIT: usize = 20_000;
 const TRIANGLE_LIMIT: usize = 200_000;
 
 fn main() {
+    suite::init_obs();
+    let mut rec = Recorder::new("table7");
     let widths = [16, 9, 9, 6, 10, 10, 8];
     println!("Table 7: subgraph clustering by SSM (maximum cliques | triangles)");
     print_header(
@@ -29,13 +30,40 @@ fn main() {
     );
     for d in dvicl_data::social_suite() {
         let g = (d.build)();
-        let tree = build_autotree(&g, &Coloring::unit(g.n()), &DviclOptions::default());
+        let (build_run, tree) = suite::build_tree(&g, &DviclOptions::default());
+        rec.record(d.name, "dvicl", &build_run);
+        let Some(tree) = tree else {
+            let mut cols = vec![d.name.to_string()];
+            cols.extend(std::iter::repeat_n("-".to_string(), 6));
+            print_row(&cols, &widths);
+            continue;
+        };
         let index = SsmIndex::new(&tree);
-        let mc = max_clique(&g);
-        let cliques = all_max_cliques(&g, mc.len(), CLIQUE_LIMIT);
-        let cc = cluster_by_symmetry(&tree, &index, cliques.iter().map(|c| c.as_slice()));
-        let tris = list_triangles(&g, TRIANGLE_LIMIT);
-        let tc = cluster_by_symmetry(&tree, &index, tris.iter().map(|t| t.as_slice()));
+        let (clique_run, cc) = suite::measure(|| {
+            let mc = max_clique(&g);
+            let cliques = all_max_cliques(&g, mc.len(), CLIQUE_LIMIT);
+            Some(cluster_by_symmetry(
+                &tree,
+                &index,
+                cliques.iter().map(|c| c.as_slice()),
+            ))
+        });
+        rec.record(d.name, "ssm_cliques", &clique_run);
+        let (tri_run, tc) = suite::measure(|| {
+            let tris = list_triangles(&g, TRIANGLE_LIMIT);
+            Some(cluster_by_symmetry(
+                &tree,
+                &index,
+                tris.iter().map(|t| t.as_slice()),
+            ))
+        });
+        rec.record(d.name, "ssm_triangles", &tri_run);
+        let (cc, tc) = match (cc, tc) {
+            (Some(cc), Some(tc)) => (cc, tc),
+            // measure() closures above always return Some; this arm is
+            // unreachable but keeps the binary panic-free.
+            _ => continue,
+        };
         print_row(
             &[
                 d.name.to_string(),
@@ -49,4 +77,5 @@ fn main() {
             &widths,
         );
     }
+    rec.write();
 }

@@ -6,16 +6,18 @@
 //! single leaf, Table 4, so DviCL adds only a vanishing preprocessing
 //! cost).
 
-use dvicl_bench::suite::{engines, print_header, print_row, run_baseline, run_dvicl};
+use dvicl_bench::suite::{self, engines, print_header, print_row, run_baseline, run_dvicl, Recorder};
 
 #[global_allocator]
 static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
 
 fn main() {
+    suite::init_obs();
+    let mut rec = Recorder::new("table8");
     let widths = [16, 9, 10, 9, 10, 9, 10];
     println!(
         "Table 8: performance on benchmark graphs (budget per baseline run: {:?})",
-        dvicl_bench::suite::budget()
+        suite::budget()
     );
     print_header(
         &["Graph", "nauty", "DviCL+n", "traces", "DviCL+t", "bliss", "DviCL+b"],
@@ -24,12 +26,15 @@ fn main() {
     for d in dvicl_data::benchmark_suite() {
         let g = (d.build)();
         let mut cols = vec![d.name.to_string()];
-        for (_, config) in engines() {
+        for (name, config) in engines() {
             let base = run_baseline(&g, &config);
+            rec.record(d.name, name, &base);
             cols.push(base.fmt_time());
             let (dv, _) = run_dvicl(&g, &config);
+            rec.record(d.name, &format!("dvicl+{name}"), &dv);
             cols.push(dv.fmt_time());
         }
         print_row(&cols, &widths);
     }
+    rec.write();
 }

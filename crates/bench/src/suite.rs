@@ -1,9 +1,17 @@
 //! Shared helpers for the table binaries.
+//!
+//! Every binary funnels its measured work through [`measure`] (counter
+//! deltas + peak heap + wall clock) and its AutoTree builds through
+//! [`build_tree`] (so `DVICL_BUDGET_SECS` is enforced by
+//! `govern::Budget` everywhere, never by a binary-private timer), and
+//! appends machine-readable rows to a [`Recorder`], which writes the
+//! `BENCH_<table>.json` document described in DESIGN.md §9.
 
 use dvicl_canon::{try_canonical_form, Config};
 use dvicl_core::{try_build_autotree, AutoTree, DviclOptions};
 use dvicl_govern::Budget;
 use dvicl_graph::{Coloring, Graph};
+use dvicl_obs::{self as obs, JsonArr, JsonObj, Snapshot, Value};
 use std::time::{Duration, Instant};
 
 /// The three baseline engines of the paper's evaluation and their
@@ -28,12 +36,61 @@ pub fn budget() -> Duration {
     Duration::from_secs(secs)
 }
 
+/// Parses the observability flags shared by every table binary
+/// (`--stats`, `--trace-json <path>`) and installs the matching sink.
+/// Call first in `main`; [`Recorder::write`] flushes the sink at the
+/// end via `dvicl_obs::finish`.
+pub fn init_obs() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut stats = false;
+    let mut trace: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stats" => stats = true,
+            "--trace-json" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("--trace-json requires a path");
+                    std::process::exit(2);
+                };
+                trace = Some(p.clone());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other} (expected --stats or --trace-json <path>)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if let Some(path) = &trace {
+        match obs::JsonSink::to_file(std::path::Path::new(path)) {
+            Ok(sink) => {
+                obs::install(Box::new(sink));
+            }
+            Err(e) => {
+                eprintln!("--trace-json {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else if stats {
+        obs::install(Box::new(obs::TextSink));
+    }
+    if stats || trace.is_some() {
+        obs::set_timing(true);
+    }
+}
+
 /// Outcome of one measured run.
 pub struct Run {
     /// Wall-clock seconds, `None` if the budget was exceeded.
     pub secs: Option<f64>,
     /// Peak extra heap bytes during the run.
     pub peak_bytes: usize,
+    /// Observability counter deltas attributable to this run. The
+    /// pipeline is deterministic, so two runs on the same graph yield
+    /// identical deltas (wall time is the only thing that varies).
+    pub counters: Snapshot,
 }
 
 impl Run {
@@ -55,40 +112,121 @@ impl Run {
     }
 }
 
+/// Runs `f` with the peak-allocation meter reset and a counter snapshot
+/// taken around it. `None` from `f` means the budget was exceeded; the
+/// [`Run`] then reports `-` columns but still carries the partial
+/// counter deltas (useful for diagnosing *where* the budget went).
+pub fn measure<T>(f: impl FnOnce() -> Option<T>) -> (Run, Option<T>) {
+    crate::alloc::reset_peak();
+    let before_bytes = crate::alloc::live_bytes();
+    let before = obs::snapshot();
+    let t0 = Instant::now();
+    let out = f();
+    let secs = t0.elapsed().as_secs_f64();
+    (
+        Run {
+            secs: out.is_some().then_some(secs),
+            peak_bytes: crate::alloc::peak_bytes().saturating_sub(before_bytes),
+            counters: obs::snapshot().diff(&before),
+        },
+        out,
+    )
+}
+
 /// Runs a baseline engine `X` alone on `(g, unit)` under the budget.
 pub fn run_baseline(g: &Graph, config: &Config) -> Run {
-    crate::alloc::reset_peak();
-    let before = crate::alloc::live_bytes();
-    let t0 = Instant::now();
     let limits = Budget::with_deadline(budget());
-    let result = try_canonical_form(g, &Coloring::unit(g.n()), config, &limits);
-    let secs = t0.elapsed().as_secs_f64();
-    Run {
-        secs: result.ok().map(|_| secs),
-        peak_bytes: crate::alloc::peak_bytes().saturating_sub(before),
-    }
+    measure(|| try_canonical_form(g, &Coloring::unit(g.n()), config, &limits).ok()).0
+}
+
+/// Budgeted AutoTree construction. Every table binary builds its trees
+/// through here (directly, or via [`run_dvicl`]) so that
+/// `DVICL_BUDGET_SECS` is honored uniformly through `govern::Budget` —
+/// a graph the budget cannot cover yields `None` and `-` table cells
+/// instead of an unbounded build.
+pub fn build_tree(g: &Graph, opts: &DviclOptions) -> (Run, Option<AutoTree>) {
+    let limits = Budget::with_deadline(budget());
+    measure(|| try_build_autotree(g, &Coloring::unit(g.n()), opts, &limits).ok())
 }
 
 /// Runs `DviCL+X` (AutoTree construction with `X` as the leaf labeler),
 /// under the same per-run budget as the baselines (a benchmark graph can
 /// be one huge leaf).
 pub fn run_dvicl(g: &Graph, config: &Config) -> (Run, Option<AutoTree>) {
-    crate::alloc::reset_peak();
-    let before = crate::alloc::live_bytes();
-    let t0 = Instant::now();
     let opts = DviclOptions {
         leaf_config: config.clone(),
         ..DviclOptions::default()
     };
-    let tree = try_build_autotree(g, &Coloring::unit(g.n()), &opts, &Budget::with_deadline(budget())).ok();
-    let secs = t0.elapsed().as_secs_f64();
-    (
-        Run {
-            secs: tree.is_some().then_some(secs),
-            peak_bytes: crate::alloc::peak_bytes().saturating_sub(before),
-        },
-        tree,
-    )
+    build_tree(g, &opts)
+}
+
+/// Accumulates one table's machine-readable benchmark records and
+/// writes them as `BENCH_<table>.json` (schema `dvicl-bench-v1`,
+/// DESIGN.md §9) when the binary finishes.
+pub struct Recorder {
+    table: &'static str,
+    records: JsonArr,
+}
+
+impl Recorder {
+    /// Starts an empty recorder for `table` (e.g. `"table8"`).
+    pub fn new(table: &'static str) -> Recorder {
+        Recorder {
+            table,
+            records: JsonArr::new(),
+        }
+    }
+
+    /// Appends one `{graph, algo, completed, wall_ms, peak_bytes,
+    /// counters}` record and mirrors it as a `bench_record` event, so a
+    /// `--trace-json` sink captures the rows as they are produced.
+    pub fn record(&mut self, graph: &str, algo: &str, run: &Run) {
+        let wall_ms = run.secs.map(|s| s * 1e3);
+        let peak = u64::try_from(run.peak_bytes).unwrap_or(u64::MAX);
+        let mut counters = JsonObj::new();
+        for (name, v) in run.counters.iter() {
+            counters = counters.u64(name, v);
+        }
+        let mut obj = JsonObj::new()
+            .str("graph", graph)
+            .str("algo", algo)
+            .bool("completed", run.secs.is_some());
+        obj = match wall_ms {
+            Some(ms) => obj.f64("wall_ms", ms),
+            None => obj.null("wall_ms"),
+        };
+        obj = obj.u64("peak_bytes", peak).obj("counters", counters);
+        self.records = std::mem::take(&mut self.records).push_obj(obj);
+        obs::emit(
+            "bench_record",
+            &[
+                ("table", Value::Str(self.table.to_string())),
+                ("graph", Value::Str(graph.to_string())),
+                ("algo", Value::Str(algo.to_string())),
+                ("completed", Value::Bool(run.secs.is_some())),
+                // NaN serializes as null, matching the record's wall_ms.
+                ("wall_ms", Value::F64(wall_ms.unwrap_or(f64::NAN))),
+                ("peak_bytes", Value::U64(peak)),
+            ],
+        );
+    }
+
+    /// Writes `BENCH_<table>.json` into the current directory and
+    /// flushes the installed observability sink. Returns the path
+    /// written (best effort: an unwritable directory only warns).
+    pub fn write(self) -> String {
+        let path = format!("BENCH_{}.json", self.table);
+        let doc = JsonObj::new()
+            .str("schema", "dvicl-bench-v1")
+            .str("table", self.table)
+            .arr("records", self.records)
+            .finish();
+        if let Err(e) = std::fs::write(&path, doc + "\n") {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+        obs::finish();
+        path
+    }
 }
 
 /// Prints a row of `|`-free aligned columns.
@@ -112,23 +250,31 @@ pub fn print_header(cols: &[&str], widths: &[usize]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Counters are process-global; tests that assert on deltas must
+    /// not overlap with other counter-bumping tests in this binary.
+    static OBS_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn run_formats_like_the_paper() {
         let finished = Run {
             secs: Some(1.234),
             peak_bytes: 3 * 1024 * 1024,
+            counters: Snapshot::default(),
         };
         assert_eq!(finished.fmt_time(), "1.23");
         assert_eq!(finished.fmt_mem(), "3.00");
         let fast = Run {
             secs: Some(0.004),
             peak_bytes: 10,
+            counters: Snapshot::default(),
         };
         assert_eq!(fast.fmt_time(), "<0.01");
         let failed = Run {
             secs: None,
             peak_bytes: 999,
+            counters: Snapshot::default(),
         };
         assert_eq!(failed.fmt_time(), "-");
         assert_eq!(failed.fmt_mem(), "-");
@@ -142,6 +288,7 @@ mod tests {
 
     #[test]
     fn baseline_and_dvicl_agree_on_a_small_graph() {
+        let _serial = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let g = dvicl_graph::named::fig1_example();
         for (_, config) in engines() {
             let base = run_baseline(&g, &config);
@@ -150,6 +297,38 @@ mod tests {
             assert!(run.secs.is_some());
             assert_eq!(tree.expect("built").stats().total_nodes, 7);
         }
+    }
+
+    #[test]
+    fn counter_deltas_are_deterministic() {
+        let _serial = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let g = dvicl_graph::named::petersen();
+        let config = Config::bliss_like();
+        let r1 = run_baseline(&g, &config);
+        let r2 = run_baseline(&g, &config);
+        assert_eq!(r1.counters, r2.counters, "reruns must agree exactly");
+        #[cfg(not(feature = "obs-off"))]
+        assert!(r1.counters.get(dvicl_obs::Counter::SearchNodes) > 0);
+    }
+
+    #[test]
+    fn bench_records_round_trip_the_run() {
+        let run = Run {
+            secs: Some(0.5),
+            peak_bytes: 1024,
+            counters: Snapshot::default(),
+        };
+        let mut rec = Recorder::new("table_test");
+        rec.record("k_5", "nauty", &run);
+        let doc = JsonObj::new()
+            .str("schema", "dvicl-bench-v1")
+            .str("table", rec.table)
+            .arr("records", std::mem::take(&mut rec.records))
+            .finish();
+        assert!(doc.contains(r#""schema":"dvicl-bench-v1""#));
+        assert!(doc.contains(r#""graph":"k_5""#));
+        assert!(doc.contains(r#""wall_ms":500"#));
+        assert!(doc.contains(r#""counters":{"refine_rounds":0"#));
     }
 
     #[test]

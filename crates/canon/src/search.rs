@@ -2,6 +2,7 @@
 
 use crate::tree::{NodeRecord, SearchTree};
 use dvicl_govern::{Budget, DviclError};
+use dvicl_obs::{self as obs, Counter};
 use dvicl_graph::{CanonForm, Coloring, Graph, Perm, V};
 use dvicl_group::Orbits;
 use dvicl_refine::{try_refine, try_refine_individualized};
@@ -240,6 +241,7 @@ pub fn try_canonical_form(
     // An already-expired deadline or a pre-cancelled token must fail even
     // on graphs small enough to finish inside the first clock stride.
     budget.check()?;
+    let _span = obs::span("canon.search");
     let mut s = Search {
         g,
         pi0: pi,
@@ -332,6 +334,7 @@ impl<'a> Search<'a> {
         fixed: &mut Vec<V>,
     ) -> Result<(), DviclError> {
         self.stats.nodes += 1;
+        obs::bump(Counter::SearchNodes);
         self.stats.max_depth = self.stats.max_depth.max(depth);
         self.budget.spend(1)?;
         let node_id = self.record_node(pi, depth, parent_edge);
@@ -349,6 +352,7 @@ impl<'a> Search<'a> {
         // produce automorphisms of the reference leaf — prune outright.
         if self.config.group_only && !on_first {
             self.stats.pruned_invariant += 1;
+            obs::bump(Counter::PrunedInvariant);
             return Ok(());
         }
         // Maintain the best-path comparison (only meaningful once some best
@@ -381,6 +385,7 @@ impl<'a> Search<'a> {
             // automorphism image of the reference (first) leaf.
             if best_cmp == Ordering::Greater && !on_first {
                 self.stats.pruned_invariant += 1;
+                obs::bump(Counter::PrunedInvariant);
                 return Ok(());
             }
         }
@@ -414,6 +419,7 @@ impl<'a> Search<'a> {
                 }
                 if processed.iter().any(|&w| stab.same(v, w)) {
                     self.stats.pruned_orbit += 1;
+                    obs::bump(Counter::PrunedOrbit);
                     continue;
                 }
             }
@@ -453,6 +459,7 @@ impl<'a> Search<'a> {
         fixed: &[V],
     ) -> Result<(), DviclError> {
         self.stats.leaves += 1;
+        obs::bump(Counter::SearchLeaves);
         let lambda = pi
             .to_perm()
             // dvicl-lint: allow(panic-freedom) -- handle_leaf is only called when target_cell found no non-singleton cell, i.e. pi is discrete
@@ -534,6 +541,7 @@ impl<'a> Search<'a> {
         self.orbits.absorb(&auto);
         self.generators.push(auto);
         self.stats.generators_found += 1;
+        obs::bump(Counter::AutFound);
         true
     }
 

@@ -22,6 +22,11 @@
 //! exceeded. When `--max-nodes` stops the divide-and-conquer build, the
 //! run degrades to whole-graph labeling (still correct, noted on stderr)
 //! instead of failing.
+//!
+//! Observability (DESIGN.md §9): `--stats` prints the counter and
+//! phase-time report to stderr after the run; `--trace-json <path>`
+//! streams newline-delimited JSON events plus a final summary object to
+//! `path`. Either flag also enables span timing.
 
 use dvicl_core::ssm::{try_count_images, try_enumerate_images, SsmIndex};
 use dvicl_core::{aut, build_autotree_resilient, iso, ksym, AutoTree, DviclOptions};
@@ -65,14 +70,18 @@ fn emit_edge_list(g: &Graph) -> Result<(), DviclError> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (args, budget) = match global_flags(args) {
+    let (args, budget, obs_cfg) = match global_flags(args) {
         Ok(split) => split,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(e.exit_code());
         }
     };
-    match run(&args, &budget) {
+    if let Err(e) = obs_cfg.activate() {
+        eprintln!("error: {e}");
+        return ExitCode::from(e.exit_code());
+    }
+    let code = match run(&args, &budget) {
         Ok(()) => ExitCode::SUCCESS,
         Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
@@ -84,11 +93,46 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::from(e.exit_code())
         }
+    };
+    // Deliver the final summary to the installed sink even when the run
+    // failed — a budget-tripped run's counters are exactly the
+    // interesting ones.
+    dvicl_obs::finish();
+    if obs_cfg.stats && obs_cfg.trace_json.is_some() {
+        // The JSON sink owns finish(); print the human report too.
+        eprint!("{}", dvicl_obs::render_text(&dvicl_obs::summary()));
+    }
+    code
+}
+
+/// The observability selection parsed from the global flags.
+#[derive(Default)]
+struct ObsConfig {
+    stats: bool,
+    trace_json: Option<String>,
+}
+
+impl ObsConfig {
+    /// Installs the selected sink and enables span timing. `--trace-json`
+    /// wins the sink slot when both flags are given; `--stats` then
+    /// prints its report directly at exit.
+    fn activate(&self) -> Result<(), DviclError> {
+        if let Some(path) = &self.trace_json {
+            let sink = dvicl_obs::JsonSink::to_file(std::path::Path::new(path))
+                .map_err(|e| DviclError::invalid(format!("--trace-json {path}: {e}")))?;
+            dvicl_obs::install(Box::new(sink));
+        } else if self.stats {
+            dvicl_obs::install(Box::new(dvicl_obs::TextSink));
+        }
+        if self.stats || self.trace_json.is_some() {
+            dvicl_obs::set_timing(true);
+        }
+        Ok(())
     }
 }
 
 fn usage() -> &'static str {
-    "usage:\n  dvicl canon    <GRAPH>\n  dvicl aut      <GRAPH>\n  dvicl iso      <GRAPH> <GRAPH>\n  dvicl tree     <GRAPH> [--render]\n  dvicl ssm      <GRAPH> <v,v,...> [--limit N]\n  dvicl ksym     <GRAPH> <k>\n  dvicl quotient <GRAPH>\n  dvicl dataset  <NAME>\n  dvicl convert  <GRAPH>\n\nGRAPH: edge-list path, '-' for stdin (at most once), or g6:<graph6-literal>\n\nglobal flags (any subcommand):\n  --timeout <DUR>    wall-clock budget (100ms, 5s, 2m, ...)\n  --max-nodes <N>    work budget in search/build nodes\n\nexit codes: 0 ok, 2 bad input, 3 budget exceeded"
+    "usage:\n  dvicl canon    <GRAPH>\n  dvicl aut      <GRAPH>\n  dvicl iso      <GRAPH> <GRAPH>\n  dvicl tree     <GRAPH> [--render]\n  dvicl ssm      <GRAPH> <v,v,...> [--limit N]\n  dvicl ksym     <GRAPH> <k>\n  dvicl quotient <GRAPH>\n  dvicl dataset  <NAME>\n  dvicl convert  <GRAPH>\n\nGRAPH: edge-list path, '-' for stdin (at most once), or g6:<graph6-literal>\n\nglobal flags (any subcommand):\n  --timeout <DUR>      wall-clock budget (100ms, 5s, 2m, ...)\n  --max-nodes <N>      work budget in search/build nodes\n  --stats              counter + phase-time report on stderr\n  --trace-json <PATH>  NDJSON events + summary to PATH\n\nexit codes: 0 ok, 2 bad input, 3 budget exceeded"
 }
 
 /// A CLI failure: either a usage mistake (print the help text, exit 2)
@@ -104,12 +148,14 @@ impl From<DviclError> for CliError {
     }
 }
 
-/// Strips `--timeout`/`--max-nodes` (valid anywhere on the line) and
-/// builds the run's shared budget from them.
-fn global_flags(args: Vec<String>) -> Result<(Vec<String>, Budget), DviclError> {
+/// Strips `--timeout`/`--max-nodes`/`--stats`/`--trace-json` (valid
+/// anywhere on the line) and builds the run's shared budget and
+/// observability selection from them.
+fn global_flags(args: Vec<String>) -> Result<(Vec<String>, Budget, ObsConfig), DviclError> {
     let mut rest = Vec::with_capacity(args.len());
     let mut timeout = None;
     let mut max_nodes = None;
+    let mut obs_cfg = ObsConfig::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -127,10 +173,17 @@ fn global_flags(args: Vec<String>) -> Result<(Vec<String>, Budget), DviclError> 
                     DviclError::invalid(format!("--max-nodes: not a count: {v:?}"))
                 })?);
             }
+            "--stats" => obs_cfg.stats = true,
+            "--trace-json" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| DviclError::invalid("--trace-json needs a file path"))?;
+                obs_cfg.trace_json = Some(v);
+            }
             _ => rest.push(a),
         }
     }
-    Ok((rest, Budget::new(timeout, max_nodes)))
+    Ok((rest, Budget::new(timeout, max_nodes), obs_cfg))
 }
 
 fn run(args: &[String], budget: &Budget) -> Result<(), CliError> {

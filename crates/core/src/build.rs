@@ -6,7 +6,8 @@ use crate::sub::Sub;
 use crate::tree::{AutoTree, Node, NodeId, NodeKind};
 use dvicl_canon::{try_canonical_form as ir_try_canonical_form, Config};
 use dvicl_govern::{Budget, DviclError, Resource};
-use dvicl_graph::{CanonForm, Coloring, Graph, V};
+use dvicl_graph::{CanonForm, Coloring, Graph, Perm, V};
+use dvicl_obs::{self as obs, Counter};
 use dvicl_refine::try_refine;
 use rustc_hash::FxHashMap;
 
@@ -157,12 +158,14 @@ fn run_build(
     budget: &Budget,
     force_leaf: bool,
 ) -> Result<AutoTree, DviclError> {
+    let _span = obs::span("core.build");
     let mut b = Builder {
         pi: pi.clone(),
         opts,
         budget,
         force_leaf,
         nodes: Vec::new(),
+        cl_cache: FxHashMap::default(),
     };
     if g.n() == 0 {
         return Ok(AutoTree {
@@ -192,6 +195,12 @@ fn run_build(
     })
 }
 
+/// `CombineCL` memo key: the leaf's global colors and local edges — the
+/// exact data the IR engine sees.
+type ClKey = (Vec<V>, Vec<(V, V)>);
+/// `CombineCL` memo value: the IR labeling and its generators.
+type ClEntry = (Perm, Vec<Perm>);
+
 struct Builder<'a> {
     pi: Coloring,
     opts: &'a DviclOptions,
@@ -200,6 +209,11 @@ struct Builder<'a> {
     /// single whole-graph IR leaf.
     force_leaf: bool,
     nodes: Vec<Node>,
+    /// `CombineCL` memo: symmetric sibling leaves (equal local edges and
+    /// global colors) share one IR labeling instead of re-searching. The
+    /// key is the exact data the IR engine sees — never a hash alone, so
+    /// a collision cannot corrupt certificates.
+    cl_cache: FxHashMap<ClKey, ClEntry>,
 }
 
 impl<'a> Builder<'a> {
@@ -243,6 +257,7 @@ impl<'a> Builder<'a> {
         let division = if self.force_leaf {
             None
         } else {
+            let _span = obs::span("core.divide");
             sub.divide_components()
                 .or_else(|| sub.divide_i(&self.pi))
                 .or_else(|| {
@@ -273,20 +288,38 @@ impl<'a> Builder<'a> {
     /// order so symmetric leaves elsewhere in the tree get equal labels
     /// (Lemma 6.7).
     fn combine_cl(&mut self, id: NodeId, sub: &Sub) -> Result<(), DviclError> {
+        let _span = obs::span("core.leaf_ir");
         let (local_g, local_pi) = sub.to_local_graph(&self.pi);
-        let res = ir_try_canonical_form(&local_g, &local_pi, &self.opts.leaf_config, self.budget)?;
+        let colors: Vec<V> = sub.verts.iter().map(|&v| self.pi.color_of(v)).collect();
+        // Memo lookup: the IR result is a pure function of the local graph
+        // and the projected coloring, and the colors vector determines the
+        // projection, so (colors, edges) is a sound exact key (Lemma 6.7's
+        // symmetric leaves hit this constantly).
+        let key = (colors.clone(), local_g.edges().collect::<Vec<(V, V)>>());
+        let (labeling, generators) = match self.cl_cache.get(&key) {
+            Some((labeling, generators)) => {
+                obs::bump(Counter::CacheClHits);
+                (labeling.clone(), generators.clone())
+            }
+            None => {
+                obs::bump(Counter::CacheClMisses);
+                let res =
+                    ir_try_canonical_form(&local_g, &local_pi, &self.opts.leaf_config, self.budget)?;
+                self.cl_cache
+                    .insert(key, (res.labeling.clone(), res.generators.clone()));
+                (res.labeling, res.generators)
+            }
+        };
         let mut labels = vec![0 as V; sub.n()];
         for cell in sub.cells(&self.pi) {
             let mut members = cell.members.clone();
-            members.sort_unstable_by_key(|&i| res.labeling.apply(i));
+            members.sort_unstable_by_key(|&i| labeling.apply(i));
             for (rank, &i) in members.iter().enumerate() {
                 labels[i as usize] = cell.color + rank as V;
             }
         }
-        let colors: Vec<V> = sub.verts.iter().map(|&v| self.pi.color_of(v)).collect();
         let form = CanonForm::new(&local_g, &colors, &labels);
-        let leaf_generators = res
-            .generators
+        let leaf_generators = generators
             .iter()
             .map(|gen| {
                 // dvicl-lint: allow(narrowing-cast) -- sub.n() <= g.n() <= V::MAX by Graph's construction invariant
@@ -309,6 +342,7 @@ impl<'a> Builder<'a> {
     /// the rank within the cell gives `γ_g(v) = π(v) + rank`.
     // dvicl-lint: allow(budget-threading) -- O(children log children) merge of already-built nodes; the per-node work was metered when each child was built
     fn combine_st(&mut self, id: NodeId, sub: &Sub, mut children: Vec<NodeId>) {
+        let _span = obs::span("core.combine");
         // Line 1: non-descending certificate order.
         children.sort_by(|&a, &b| self.nodes[a].form.cmp(&self.nodes[b].form));
         // Runs of equal certificates = classes of symmetric siblings.

@@ -111,6 +111,10 @@ pub struct SimplifiedDvicl {
 /// Runs DviCL through the structural-equivalence optimization.
 pub fn dvicl_simplified(g: &Graph, pi0: &Coloring, opts: &DviclOptions) -> SimplifiedDvicl {
     let twins = twin_classes(g, pi0);
+    dvicl_obs::add(
+        dvicl_obs::Counter::TwinClassesCollapsed,
+        twins.non_singleton.len() as u64,
+    );
     // Representatives, ascending; class size per rep.
     let n = g.n();
     let reps: Vec<V> = (0..n as V).filter(|&v| twins.rep_of[v as usize] == v).collect();

@@ -178,6 +178,7 @@ pub fn try_count_images(
     set: &[V],
     budget: &Budget,
 ) -> Result<BigUint, DviclError> {
+    let _span = dvicl_obs::span("core.ssm");
     let set = validate_set(tree, set)?;
     Ok(analyze(tree, index, tree.root(), &set, budget)?.1)
 }
@@ -222,6 +223,7 @@ fn analyze(
     set: &[V],
     gov: &Budget,
 ) -> Result<(Vec<u8>, BigUint), DviclError> {
+    dvicl_obs::bump(dvicl_obs::Counter::SsmStates);
     gov.spend(1)?;
     let n = tree.node(node);
     match n.kind {
@@ -376,7 +378,8 @@ fn orbit_of_set(
     let mut queue = vec![start];
     let mut head = 0;
     while head < queue.len() {
-        gov.spend(1)?;
+        dvicl_obs::bump(dvicl_obs::Counter::SsmStates);
+    gov.spend(1)?;
         let cur = queue[head].clone();
         head += 1;
         for gen in gens {
@@ -440,6 +443,7 @@ pub fn try_enumerate_images(
     limit: usize,
     budget: &Budget,
 ) -> Result<SsmMatches, DviclError> {
+    let _span = dvicl_obs::span("core.ssm");
     let set = validate_set(tree, set)?;
     let mut slots = limit;
     let matches = enum_at(tree, index, tree.root(), &set, &mut slots, budget)?;
@@ -460,6 +464,7 @@ fn enum_at(
     slots: &mut usize,
     gov: &Budget,
 ) -> Result<Vec<Vec<V>>, DviclError> {
+    dvicl_obs::bump(dvicl_obs::Counter::SsmStates);
     gov.spend(1)?;
     if *slots == 0 {
         return Ok(Vec::new());
@@ -614,6 +619,7 @@ fn assign_rec(
     slots: &mut usize,
     gov: &Budget,
 ) -> Result<(), DviclError> {
+    dvicl_obs::bump(dvicl_obs::Counter::SsmStates);
     gov.spend(1)?;
     if results.len() >= *slots {
         return Ok(());

@@ -11,6 +11,7 @@
 //! child that retains both endpoints.
 
 use dvicl_graph::{Coloring, Graph, V};
+use dvicl_obs::{self as obs, Counter};
 use rustc_hash::FxHashMap;
 
 /// A colored subgraph `(g, π_g)` with global vertex identities.
@@ -150,6 +151,7 @@ impl Sub {
         let banned = vec![false; self.n()];
         let parts = self.components_excluding(&banned, |_, _| true);
         if parts.len() > 1 {
+            obs::bump(Counter::DivideComponents);
             Some(Division { parts })
         } else {
             None
@@ -176,6 +178,7 @@ impl Sub {
         let mut parts: Vec<Vec<u32>> = singles.iter().map(|&s| vec![s]).collect();
         parts.extend(self.components_excluding(&banned, |_, _| true));
         if parts.len() > 1 {
+            obs::bump(Counter::DivideIApplied);
             Some(Division { parts })
         } else {
             None
@@ -249,6 +252,20 @@ impl Sub {
             !full[cv][cw]
         });
         if parts.len() > 1 {
+            obs::bump(Counter::DivideSApplied);
+            let mut deleted: u64 = 0;
+            for (i, row) in self.adj.iter().enumerate() {
+                for &j in row {
+                    // dvicl-lint: allow(narrowing-cast) -- i indexes the subgraph's adjacency rows, at most n <= V::MAX
+                    if (i as u32) < j {
+                        let (ci, cj) = (cell_of[i] as usize, cell_of[j as usize] as usize);
+                        if full[ci][cj] {
+                            deleted += 1;
+                        }
+                    }
+                }
+            }
+            obs::add(Counter::DivideSEdgesDeleted, deleted);
             Some(Division { parts })
         } else {
             None

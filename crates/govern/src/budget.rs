@@ -13,6 +13,16 @@ use std::time::{Duration, Instant};
 /// microseconds, so deadline overshoot stays well under a millisecond.
 pub const STRIDE: u64 = 256;
 
+/// Reports a budget trip to the observability layer: bumps the
+/// `budget_trips` counter and emits a `budget_trip` event carrying the
+/// counter snapshot at trip time. Off the hot path by construction —
+/// this only runs when the computation is already being aborted.
+#[cold]
+#[inline(never)]
+fn report_trip(resource: &str, spent: u64) {
+    dvicl_obs::emit_budget_trip(resource, spent);
+}
+
 /// Cooperative cancellation flag, cheaply cloneable and shareable
 /// across threads. Cancelling is sticky: once triggered, every budget
 /// holding the token fails its next check.
@@ -142,12 +152,14 @@ impl Budget {
     #[inline]
     pub fn spend(&self, n: u64) -> Result<(), DviclError> {
         if self.inner.cancel.is_cancelled() {
+            report_trip("cancelled", self.work_spent());
             return Err(DviclError::Cancelled);
         }
         let before = self.inner.work.fetch_add(n, Ordering::Relaxed);
         let spent = before + n;
         if let Some(max) = self.inner.max_work {
             if spent > max {
+                report_trip("work_units", spent);
                 return Err(DviclError::BudgetExceeded {
                     resource: Resource::WorkUnits,
                     spent,
@@ -164,14 +176,17 @@ impl Budget {
     /// work cap — spending is what moves that counter).
     pub fn check(&self) -> Result<(), DviclError> {
         if self.inner.cancel.is_cancelled() {
+            report_trip("cancelled", self.work_spent());
             return Err(DviclError::Cancelled);
         }
         if let Some(deadline) = self.inner.deadline {
             let now = Instant::now();
             if now > deadline {
+                let spent = now.duration_since(self.inner.started).as_millis() as u64;
+                report_trip("wall_clock_ms", spent);
                 return Err(DviclError::BudgetExceeded {
                     resource: Resource::WallClock,
-                    spent: now.duration_since(self.inner.started).as_millis() as u64,
+                    spent,
                 });
             }
         }

@@ -16,6 +16,14 @@
 //! - [`DviclError`] — the unified error taxonomy every fallible entry
 //!   point returns, with a stable [`DviclError::exit_code`] mapping for
 //!   the CLI (2 = bad input, 3 = budget exceeded / cancelled).
+//!
+//! Budget trips are observable: the error paths of [`Budget::spend`]
+//! and [`Budget::check`] report through `dvicl-obs` (the `budget_trips`
+//! counter and a `budget_trip` event carrying the counter snapshot at
+//! trip time), so a truncated run still records how far it got. See
+//! DESIGN.md §9.
+
+#![deny(missing_docs)]
 
 mod budget;
 mod error;

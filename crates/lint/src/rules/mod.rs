@@ -11,6 +11,7 @@ use crate::lexer::{Tok, TokKind};
 pub mod budget_threading;
 pub mod error_taxonomy;
 pub mod narrowing_cast;
+pub mod obs_span_naming;
 pub mod offline_guard;
 pub mod panic_freedom;
 pub mod unsafe_audit;
@@ -169,6 +170,13 @@ pub fn catalog() -> &'static [RuleMeta] {
             summary: "no std::net / std::process outside the cli and bench crates",
             applies: |c| !matches!(c, "cli" | "bench"),
             check: offline_guard::check,
+        },
+        RuleMeta {
+            id: obs_span_naming::ID,
+            severity: Severity::Deny,
+            summary: "span labels must be crate.phase dot-paths with a known crate prefix",
+            applies: applies_everywhere,
+            check: obs_span_naming::check,
         },
     ]
 }

@@ -1,0 +1,20 @@
+//! Clean fixture: well-formed labels, the macro form, deeper paths,
+//! non-literal labels (out of scope), and unrelated `span` identifiers.
+
+pub fn good_labels(dynamic: &'static str) {
+    let _a = dvicl_obs::span("canon.search");
+    let _b = dvicl_obs::span!("core.leaf_ir");
+    let _c = dvicl_obs::span("apps.im.spread_estimate");
+    // A computed label cannot be checked statically; the rule skips it.
+    let _d = dvicl_obs::span(dynamic);
+}
+
+pub struct Token {
+    pub span: (usize, usize),
+}
+
+pub fn unrelated(tok: &Token) -> usize {
+    // Field access and locals named `span` are not span call sites.
+    let span = tok.span;
+    span.0
+}

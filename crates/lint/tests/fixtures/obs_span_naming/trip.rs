@@ -1,0 +1,10 @@
+//! Tripping fixture: every way a span label can break the
+//! crate.phase convention.
+
+pub fn bad_labels() {
+    let _a = dvicl_obs::span("search"); // finding: single segment
+    let _b = dvicl_obs::span("nonsense.search"); // finding: unknown crate prefix
+    let _c = dvicl_obs::span("canon.Search"); // finding: uppercase segment
+    let _d = dvicl_obs::span!("core.leaf-ir"); // finding: dash in segment
+    let _e = dvicl_obs::span("refine."); // finding: empty second segment
+}

@@ -1,0 +1,41 @@
+//! Counters must be monotone and race-free: 8 threads hammering the
+//! same counters lose no increments (satellite requirement; loom-free
+//! by design — plain spawn + exact-total assertions).
+
+#![cfg(not(feature = "obs-off"))]
+
+use dvicl_obs::{self as obs, Counter};
+
+const THREADS: u64 = 8;
+const PER_THREAD: u64 = 10_000;
+
+#[test]
+fn eight_threads_lose_no_increments() {
+    let before = obs::snapshot();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    obs::bump(Counter::RefineRounds);
+                    if i % 2 == t % 2 {
+                        obs::add(Counter::SearchNodes, 2);
+                    }
+                }
+            });
+        }
+    });
+    let delta = obs::snapshot().diff(&before);
+    assert_eq!(delta.get(Counter::RefineRounds), THREADS * PER_THREAD);
+    assert_eq!(delta.get(Counter::SearchNodes), THREADS * PER_THREAD);
+}
+
+#[test]
+fn counters_are_monotone_while_bumping() {
+    let mut last = obs::get(Counter::SsmStates);
+    for _ in 0..1_000 {
+        obs::bump(Counter::SsmStates);
+        let now = obs::get(Counter::SsmStates);
+        assert!(now > last, "counter went backwards: {last} -> {now}");
+        last = now;
+    }
+}

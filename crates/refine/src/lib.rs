@@ -51,6 +51,7 @@ pub struct RefineResult {
 /// assert!(r.coloring.is_equitable(&g));
 /// ```
 pub fn refine(g: &Graph, pi: &Coloring) -> RefineResult {
+    let _span = dvicl_obs::span("refine.refine");
     let mut p = Partition::from_coloring(g.n(), pi);
     let trace = p.refine(g);
     RefineResult {
@@ -67,6 +68,7 @@ pub fn refine(g: &Graph, pi: &Coloring) -> RefineResult {
 /// of `v`'s cell (an invariant of the branching choice), so traces of
 /// sibling nodes that individualize non-equivalent vertices differ.
 pub fn refine_individualized(g: &Graph, pi: &Coloring, v: V) -> RefineResult {
+    let _span = dvicl_obs::span("refine.individualize");
     let mut p = Partition::from_coloring(g.n(), pi);
     let trace = p.individualize_and_refine(g, v);
     RefineResult {
@@ -80,6 +82,7 @@ pub fn refine_individualized(g: &Graph, pi: &Coloring, v: V) -> RefineResult {
 /// so a wall-clock deadline or cancellation interrupts the refinement
 /// loop itself rather than waiting for it to finish.
 pub fn try_refine(g: &Graph, pi: &Coloring, budget: &Budget) -> Result<RefineResult, DviclError> {
+    let _span = dvicl_obs::span("refine.refine");
     let mut p = Partition::from_coloring(g.n(), pi);
     let trace = p.try_refine(g, budget)?;
     Ok(RefineResult {
@@ -96,6 +99,7 @@ pub fn try_refine_individualized(
     v: V,
     budget: &Budget,
 ) -> Result<RefineResult, DviclError> {
+    let _span = dvicl_obs::span("refine.individualize");
     let mut p = Partition::from_coloring(g.n(), pi);
     let trace = p.try_individualize_and_refine(g, v, budget)?;
     Ok(RefineResult {

@@ -212,6 +212,7 @@ impl Partition {
     fn run(&mut self, g: &Graph, seed: u64, budget: Option<&Budget>) -> Result<u64, DviclError> {
         let mut trace = seed;
         while let Some(s) = self.queue.pop_front() {
+            dvicl_obs::bump(dvicl_obs::Counter::RefineRounds);
             if let Some(b) = budget {
                 b.spend(1)?;
             }
