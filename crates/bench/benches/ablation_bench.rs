@@ -33,7 +33,7 @@ fn bench_divide_s(c: &mut Criterion) {
                 use_divide_s,
                 ..DviclOptions::default()
             };
-            b.iter(|| build_autotree(g, &pi, &opts).canonical_form().clone());
+            b.iter(|| build_autotree(g, &pi, &opts).canonical_form().to_form());
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_simplification(c: &mut Criterion) {
     let g = twin_heavy();
     let pi = Coloring::unit(g.n());
     group.bench_function("plain-dvicl", |b| {
-        b.iter(|| build_autotree(&g, &pi, &DviclOptions::default()).canonical_form().clone());
+        b.iter(|| build_autotree(&g, &pi, &DviclOptions::default()).canonical_form().to_form());
     });
     group.bench_function("simplified-dvicl", |b| {
         b.iter(|| {

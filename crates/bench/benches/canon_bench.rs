@@ -47,7 +47,7 @@ fn bench_canon(c: &mut Criterion) {
             });
         }
         group.bench_with_input(BenchmarkId::new("dvicl+b", name), &g, |b, g| {
-            b.iter(|| build_autotree(g, &pi, &DviclOptions::default()).canonical_form().clone());
+            b.iter(|| build_autotree(g, &pi, &DviclOptions::default()).canonical_form().to_form());
         });
     }
     group.finish();

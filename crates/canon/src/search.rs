@@ -5,7 +5,7 @@ use dvicl_govern::{Budget, DviclError};
 use dvicl_obs::{self as obs, Counter};
 use dvicl_graph::{CanonForm, Coloring, Graph, Perm, V};
 use dvicl_group::Orbits;
-use dvicl_refine::{try_refine, try_refine_individualized};
+use dvicl_refine::Refiner;
 use std::cmp::Ordering;
 
 /// Target cell selector `T` (Section 4): which non-singleton cell of the
@@ -262,6 +262,7 @@ pub fn try_canonical_form(
         } else {
             None
         },
+        refiner: Refiner::new(),
     };
     if g.n() == 0 {
         return Ok(CanonResult {
@@ -273,7 +274,7 @@ pub fn try_canonical_form(
             tree: s.tree,
         });
     }
-    let root = try_refine(g, pi, budget)?;
+    let root = s.refiner.try_refine(g, pi, budget)?;
     let root_inv = mix(root.trace, quotient_hash(g, &root.coloring));
     let mut fixed: Vec<V> = Vec::new();
     s.dfs(&root.coloring, root_inv, 0, true, Ordering::Equal, None, &mut fixed)?;
@@ -312,6 +313,9 @@ struct Search<'a> {
     orbits: Orbits,
     stats: SearchStats,
     tree: Option<SearchTree>,
+    /// Reused refinement buffers: one refinement per DFS node, zero
+    /// per-node [`dvicl_refine::Partition`] allocations.
+    refiner: Refiner,
 }
 
 impl<'a> Search<'a> {
@@ -424,7 +428,7 @@ impl<'a> Search<'a> {
                 }
             }
             processed.push(v);
-            let child = try_refine_individualized(self.g, pi, v, self.budget)?;
+            let child = self.refiner.try_refine_individualized(self.g, pi, v, self.budget)?;
             let child_inv = mix(child.trace, quotient_hash(self.g, &child.coloring));
             fixed.push(v);
             let r = self.dfs(

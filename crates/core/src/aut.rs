@@ -22,7 +22,7 @@ pub fn generators(tree: &AutoTree) -> Vec<Perm> {
     let mut out = Vec::new();
     for node in tree.nodes() {
         // (a) automorphisms of non-singleton leaves, extended by identity.
-        for sparse in &node.leaf_generators {
+        for sparse in node.leaf_generators() {
             let mut image: Vec<V> = (0..n as V).collect();
             for &(v, w) in sparse {
                 image[v as usize] = w;
@@ -31,10 +31,10 @@ pub fn generators(tree: &AutoTree) -> Vec<Perm> {
             out.push(Perm::from_image(image).expect("leaf generator is a bijection"));
         }
         // (b) swaps of adjacent symmetric siblings.
-        for &(start, end) in &node.sibling_classes {
-            for k in start..end.saturating_sub(1) {
-                let a = node.children[k];
-                let b = node.children[k + 1];
+        for &(start, end) in node.sibling_classes() {
+            for k in start as usize..(end as usize).saturating_sub(1) {
+                let a = node.children()[k];
+                let b = node.children()[k + 1];
                 let matched = tree.sibling_isomorphism(a, b);
                 let mut image: Vec<V> = (0..n as V).collect();
                 for (va, vb) in matched {
@@ -56,14 +56,15 @@ pub fn orbits(tree: &AutoTree) -> Orbits {
     let n = tree.pi.n();
     let mut o = Orbits::identity(n);
     for node in tree.nodes() {
-        for sparse in &node.leaf_generators {
+        for sparse in node.leaf_generators() {
             for &(v, w) in sparse {
                 o.union(v, w);
             }
         }
-        for &(start, end) in &node.sibling_classes {
-            for k in start..end.saturating_sub(1) {
-                for (va, vb) in tree.sibling_isomorphism(node.children[k], node.children[k + 1]) {
+        for &(start, end) in node.sibling_classes() {
+            for k in start as usize..(end as usize).saturating_sub(1) {
+                for (va, vb) in tree.sibling_isomorphism(node.children()[k], node.children()[k + 1])
+                {
                     o.union(va, vb);
                 }
             }
@@ -82,14 +83,14 @@ pub fn group_order(tree: &AutoTree) -> BigUint {
 
 fn order_of(tree: &AutoTree, id: NodeId) -> BigUint {
     let node = tree.node(id);
-    match node.kind {
+    match node.kind() {
         NodeKind::SingletonLeaf => BigUint::one(),
         NodeKind::NonSingletonLeaf => leaf_order(tree, id),
         NodeKind::Internal => {
             let mut acc = BigUint::one();
-            for &(start, end) in &node.sibling_classes {
+            for &(start, end) in node.sibling_classes() {
                 let k = (end - start) as u64;
-                let child_order = order_of(tree, node.children[start]);
+                let child_order = order_of(tree, node.children()[start as usize]);
                 for _ in 0..k {
                     acc *= &child_order;
                 }
@@ -106,14 +107,13 @@ fn leaf_order(tree: &AutoTree, id: NodeId) -> BigUint {
     let node = tree.node(id);
     let nl = node.n();
     let local_of = |v: V| -> u32 {
-        node.verts
+        node.verts()
             .binary_search(&v)
             // dvicl-lint: allow(panic-freedom, narrowing-cast) -- leaf generators only move the leaf's own vertices, and the index is < node.n() <= V::MAX
             .expect("leaf generator stays inside the leaf") as u32
     };
     let gens: Vec<Perm> = node
-        .leaf_generators
-        .iter()
+        .leaf_generators()
         .map(|sparse| {
             let mut image: Vec<V> = (0..nl as V).collect();
             for &(v, w) in sparse {
@@ -254,7 +254,7 @@ pub fn automorphism_witness(tree: &AutoTree, u: V, v: V) -> Option<Perm> {
         let mut cur = tree.root();
         path.push(cur);
         'descend: loop {
-            for &c in &tree.node(cur).children {
+            for &c in tree.node(cur).children() {
                 if tree.node(c).contains(x) {
                     cur = c;
                     path.push(cur);
@@ -284,8 +284,8 @@ pub fn automorphism_witness(tree: &AutoTree, u: V, v: V) -> Option<Perm> {
     // The carriers must be symmetric siblings of one class.
     let (_, start, end) = tree.class_of(a)?;
     let parent = tree.node(lca);
-    let pos_b = parent.children.iter().position(|&c| c == b)?;
-    if !(start <= pos_b && pos_b < end) || tree.node(a).form != tree.node(b).form {
+    let pos_b = parent.children().iter().position(|&c| c == b)?;
+    if !(start <= pos_b && pos_b < end) || tree.node(a).form() != tree.node(b).form() {
         return None;
     }
     // Swap a↔b by label matching, identity elsewhere.
@@ -308,8 +308,7 @@ fn leaf_witness(tree: &AutoTree, leaf: NodeId, u: V, v: V) -> Option<Perm> {
     let n = tree.pi.n();
     let node = tree.node(leaf);
     let gens: Vec<Perm> = node
-        .leaf_generators
-        .iter()
+        .leaf_generators()
         .map(|sparse| {
             let mut image: Vec<V> = (0..n as V).collect();
             for &(a, b) in sparse {

@@ -2,8 +2,9 @@
 //! the combine steps `CombineCL` (Algorithm 4) and `CombineST`
 //! (Algorithm 5).
 
+use crate::arena::SubArena;
 use crate::sub::Sub;
-use crate::tree::{AutoTree, Node, NodeId, NodeKind};
+use crate::tree::{AutoTree, Node, NodeId, NodeKind, PoolRange, EMPTY, NO_PARENT};
 use dvicl_canon::{try_canonical_form as ir_try_canonical_form, Config};
 use dvicl_govern::{Budget, DviclError, Resource};
 use dvicl_graph::{CanonForm, Coloring, Graph, Perm, V};
@@ -160,94 +161,143 @@ fn run_build(
 ) -> Result<AutoTree, DviclError> {
     let _span = obs::span("core.build");
     let mut b = Builder {
-        pi: pi.clone(),
+        t: AutoTree {
+            pi,
+            nodes: Vec::new(),
+            root: 0,
+            verts: Vec::new(),
+            labels: Vec::new(),
+            form_colors: Vec::new(),
+            form_edges: Vec::new(),
+            children: Vec::new(),
+            classes: Vec::new(),
+            gen_ranges: Vec::new(),
+            gen_pairs: Vec::new(),
+        },
         opts,
         budget,
         force_leaf,
-        nodes: Vec::new(),
+        arena: SubArena::new(),
         cl_cache: FxHashMap::default(),
+        key_scratch: Vec::new(),
     };
     if g.n() == 0 {
-        return Ok(AutoTree {
-            pi,
-            nodes: vec![Node {
-                verts: Vec::new(),
-                labels: Vec::new(),
-                form: CanonForm {
-                    colors: Vec::new(),
-                    edges: Vec::new(),
-                },
-                children: Vec::new(),
-                sibling_classes: Vec::new(),
-                kind: NodeKind::NonSingletonLeaf,
-                depth: 0,
-                parent: None,
-                leaf_generators: Vec::new(),
-            }],
-            root: 0,
+        b.t.nodes.push(Node {
+            verts: EMPTY,
+            fcolors: EMPTY,
+            fedges: EMPTY,
+            children: EMPTY,
+            classes: EMPTY,
+            gens: EMPTY,
+            kind: NodeKind::NonSingletonLeaf,
+            depth: 0,
+            parent: NO_PARENT,
         });
+        return Ok(b.t);
     }
-    let root = b.build(Sub::whole(g), 0, None)?;
-    Ok(AutoTree {
-        pi: b.pi,
-        nodes: b.nodes,
-        root,
-    })
+    // Pre-size the pools from the empirical shape of DviCL trees (about
+    // one node per vertex, about 3n pooled vertex entries): a tree of
+    // tens of thousands of nodes then fills them without doubling
+    // spikes, which is where the naive growth schedule pays 1.5× the
+    // final footprint in transient peak.
+    b.t.nodes.reserve(g.n() + 16);
+    b.t.verts.reserve(3 * g.n());
+    b.t.labels.reserve(3 * g.n());
+    b.t.form_colors.reserve(2 * g.n());
+    b.t.form_edges.reserve(g.m() + g.n());
+    b.t.children.reserve(g.n() + 16);
+    let root = {
+        let whole = b.arena.whole(g);
+        b.build(whole, 0, NO_PARENT)?
+    };
+    obs::add(Counter::SubBytesPeak, b.arena.bytes_peak() as u64);
+    obs::add(Counter::ArenaReuses, b.arena.reuses());
+    b.t.root = root;
+    Ok(b.t)
 }
 
-/// `CombineCL` memo key: the leaf's global colors and local edges — the
-/// exact data the IR engine sees.
-type ClKey = (Vec<V>, Vec<(V, V)>);
+/// Appends `items` to `pool` and returns the `(start, len)` range.
+fn push_range<T: Copy>(pool: &mut Vec<T>, items: &[T]) -> PoolRange {
+    // dvicl-lint: allow(narrowing-cast) -- pool lengths are bounded by n·depth entries, far below u32::MAX for any graph this crate can hold (n <= V::MAX)
+    let start = pool.len() as u32;
+    pool.extend_from_slice(items);
+    // dvicl-lint: allow(narrowing-cast) -- items is a per-node slice of at most n <= V::MAX entries
+    (start, items.len() as u32)
+}
+
 /// `CombineCL` memo value: the IR labeling and its generators.
 type ClEntry = (Perm, Vec<Perm>);
 
+/// Appends `x` as a LEB128-style varint. Each field is self-delimiting,
+/// so a sequence of varints is a prefix code: two encoded keys are equal
+/// iff the encoded field sequences are equal.
+// dvicl-lint: allow(budget-threading) -- at most ten iterations for a u64; callers meter per tree node
+fn push_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        // dvicl-lint: allow(narrowing-cast) -- masked to seven bits first
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
 struct Builder<'a> {
-    pi: Coloring,
+    /// The tree under construction: node records plus the pooled
+    /// per-node payloads they point into (tree.rs module docs).
+    t: AutoTree,
     opts: &'a DviclOptions,
     budget: &'a Budget,
     /// Degraded mode: skip every divide rule so the root becomes a
     /// single whole-graph IR leaf.
     force_leaf: bool,
-    nodes: Vec<Node>,
+    /// Flat CSR storage for every working subgraph of the recursion,
+    /// stack-disciplined: a child's segment is released (and its buffer
+    /// space reused) as soon as its subtree has combined.
+    arena: SubArena,
     /// `CombineCL` memo: symmetric sibling leaves (equal local edges and
     /// global colors) share one IR labeling instead of re-searching. The
-    /// key is the exact data the IR engine sees — never a hash alone, so
-    /// a collision cannot corrupt certificates.
-    cl_cache: FxHashMap<ClKey, ClEntry>,
+    /// key is an *injective* varint encoding of exactly the data the IR
+    /// engine sees — `(n, colors, m, edges)` — so equal keys mean equal
+    /// inputs (never a lossy hash), yet a leaf costs ~2 bytes per edge
+    /// instead of a cloned `(Vec<V>, Vec<(V, V)>)`.
+    cl_cache: FxHashMap<Vec<u8>, ClEntry>,
+    /// Reused encode buffer for memo probes: allocation-free on hits.
+    key_scratch: Vec<u8>,
 }
 
 impl<'a> Builder<'a> {
     /// Procedure `cl` of Algorithm 1.
-    fn build(
-        &mut self,
-        sub: Sub,
-        depth: u32,
-        parent: Option<NodeId>,
-    ) -> Result<NodeId, DviclError> {
+    fn build(&mut self, sub: Sub, depth: u32, parent: u32) -> Result<NodeId, DviclError> {
         self.budget.spend(1)?;
-        let id = self.nodes.len();
-        self.nodes.push(Node {
-            verts: sub.verts.clone(),
-            labels: Vec::new(),
-            form: CanonForm {
-                colors: Vec::new(),
-                edges: Vec::new(),
-            },
-            children: Vec::new(),
-            sibling_classes: Vec::new(),
+        let id = self.t.nodes.len();
+        let vrange = push_range(&mut self.t.verts, self.arena.verts(&sub));
+        // Labels are written at combine time; keep the pool parallel.
+        self.t.labels.resize(self.t.verts.len(), 0);
+        self.t.nodes.push(Node {
+            verts: vrange,
+            fcolors: EMPTY,
+            fedges: EMPTY,
+            children: EMPTY,
+            classes: EMPTY,
+            gens: EMPTY,
             kind: NodeKind::Internal,
             depth,
             parent,
-            leaf_generators: Vec::new(),
         });
 
         // Base case: a one-vertex subgraph (Algorithm 1 lines 7–8).
         if sub.n() == 1 {
-            let color = self.pi.color_of(sub.verts[0]);
-            let node = &mut self.nodes[id];
+            let color = self.t.pi.color_of(self.arena.verts(&sub)[0]);
+            self.t.labels[vrange.0 as usize] = color;
+            // The paper's singleton certificate C({v}) = (π(v), π(v)).
+            let fcolors = push_range(&mut self.t.form_colors, &[(color, 1)]);
+            let node = &mut self.t.nodes[id];
             node.kind = NodeKind::SingletonLeaf;
-            node.labels = vec![color];
-            node.form = CanonForm::singleton(color);
+            node.fcolors = fcolors;
             return Ok(id);
         }
 
@@ -258,11 +308,12 @@ impl<'a> Builder<'a> {
             None
         } else {
             let _span = obs::span("core.divide");
-            sub.divide_components()
-                .or_else(|| sub.divide_i(&self.pi))
+            self.arena
+                .divide_components(&sub)
+                .or_else(|| self.arena.divide_i(&sub, &self.t.pi))
                 .or_else(|| {
                     if self.opts.use_divide_s {
-                        sub.divide_s(&self.pi)
+                        self.arena.divide_s(&sub, &self.t.pi)
                     } else {
                         None
                     }
@@ -272,11 +323,21 @@ impl<'a> Builder<'a> {
         match division {
             None => self.combine_cl(id, &sub)?,
             Some(d) => {
-                let children: Vec<NodeId> = d
-                    .parts
-                    .iter()
-                    .map(|part| self.build(sub.induced_child(part), depth + 1, Some(id)))
-                    .collect::<Result<_, _>>()?;
+                // Stack discipline: each child's arena segment is carved
+                // on top of the parent's, consumed by the recursive call,
+                // and released before the next sibling is carved — peak
+                // residency is one root-to-leaf chain, and siblings reuse
+                // the same buffer space.
+                let mut children: Vec<NodeId> = Vec::with_capacity(d.len());
+                // dvicl-lint: allow(narrowing-cast) -- id < node count <= n·depth, far below u32::MAX
+                let parent_id = id as u32;
+                for i in 0..d.len() {
+                    let mark = self.arena.mark();
+                    let child = self.arena.induced_child(&sub, d.part(i));
+                    let cid = self.build(child, depth + 1, parent_id)?;
+                    self.arena.release(mark);
+                    children.push(cid);
+                }
                 self.combine_st(id, &sub, children);
             }
         }
@@ -289,14 +350,34 @@ impl<'a> Builder<'a> {
     /// (Lemma 6.7).
     fn combine_cl(&mut self, id: NodeId, sub: &Sub) -> Result<(), DviclError> {
         let _span = obs::span("core.leaf_ir");
-        let (local_g, local_pi) = sub.to_local_graph(&self.pi);
-        let colors: Vec<V> = sub.verts.iter().map(|&v| self.pi.color_of(v)).collect();
+        let (local_g, local_pi) = self.arena.to_local_graph(sub, &self.t.pi);
+        let colors: Vec<V> = self
+            .arena
+            .verts(sub)
+            .iter()
+            .map(|&v| self.t.pi.color_of(v))
+            .collect();
         // Memo lookup: the IR result is a pure function of the local graph
         // and the projected coloring, and the colors vector determines the
         // projection, so (colors, edges) is a sound exact key (Lemma 6.7's
-        // symmetric leaves hit this constantly).
-        let key = (colors.clone(), local_g.edges().collect::<Vec<(V, V)>>());
-        let (labeling, generators) = match self.cl_cache.get(&key) {
+        // symmetric leaves hit this constantly). Encoding: varint(n), the
+        // colors, varint(m), then the edges in CSR order with the source
+        // delta-coded — injective (see `push_varint`), so key equality is
+        // input equality and a collision cannot corrupt certificates.
+        let mut key = std::mem::take(&mut self.key_scratch);
+        key.clear();
+        push_varint(&mut key, sub.n() as u64);
+        for &c in &colors {
+            push_varint(&mut key, c as u64);
+        }
+        push_varint(&mut key, sub.m() as u64);
+        let mut prev_u = 0u64;
+        for (u, v) in local_g.edges() {
+            push_varint(&mut key, u as u64 - prev_u);
+            push_varint(&mut key, v as u64);
+            prev_u = u as u64;
+        }
+        let (labeling, generators) = match self.cl_cache.get(key.as_slice()) {
             Some((labeling, generators)) => {
                 obs::bump(Counter::CacheClHits);
                 (labeling.clone(), generators.clone())
@@ -306,34 +387,48 @@ impl<'a> Builder<'a> {
                 let res =
                     ir_try_canonical_form(&local_g, &local_pi, &self.opts.leaf_config, self.budget)?;
                 self.cl_cache
-                    .insert(key, (res.labeling.clone(), res.generators.clone()));
+                    .insert(key.clone(), (res.labeling.clone(), res.generators.clone()));
                 (res.labeling, res.generators)
             }
         };
+        self.key_scratch = key;
         let mut labels = vec![0 as V; sub.n()];
-        for cell in sub.cells(&self.pi) {
-            let mut members = cell.members.clone();
+        for cell in self.arena.cells(sub, &self.t.pi) {
+            let mut members = cell.members;
             members.sort_unstable_by_key(|&i| labeling.apply(i));
             for (rank, &i) in members.iter().enumerate() {
                 labels[i as usize] = cell.color + rank as V;
             }
         }
         let form = CanonForm::new(&local_g, &colors, &labels);
-        let leaf_generators = generators
-            .iter()
-            .map(|gen| {
-                // dvicl-lint: allow(narrowing-cast) -- sub.n() <= g.n() <= V::MAX by Graph's construction invariant
-                (0..sub.n() as u32)
-                    .filter(|&i| gen.apply(i) != i)
-                    .map(|i| (sub.verts[i as usize], sub.verts[gen.apply(i) as usize]))
-                    .collect()
-            })
-            .collect();
-        let node = &mut self.nodes[id];
+        let fcolors = push_range(&mut self.t.form_colors, &form.colors);
+        let fedges = push_range(&mut self.t.form_edges, &form.edges);
+        let verts = self.arena.verts(sub);
+        // dvicl-lint: allow(narrowing-cast) -- gen_ranges grows by one entry per generator, far below u32::MAX
+        let gstart = self.t.gen_ranges.len() as u32;
+        for gen in &generators {
+            // dvicl-lint: allow(narrowing-cast) -- gen_pairs holds at most n·|generators| entries, far below u32::MAX
+            let pstart = self.t.gen_pairs.len() as u32;
+            // dvicl-lint: allow(narrowing-cast) -- sub.n() <= g.n() <= V::MAX by Graph's construction invariant
+            for i in 0..sub.n() as u32 {
+                if gen.apply(i) != i {
+                    self.t
+                        .gen_pairs
+                        .push((verts[i as usize], verts[gen.apply(i) as usize]));
+                }
+            }
+            // dvicl-lint: allow(narrowing-cast) -- bounded as pstart above
+            let plen = self.t.gen_pairs.len() as u32 - pstart;
+            self.t.gen_ranges.push((pstart, plen));
+        }
+        let vrange = self.t.nodes[id].verts;
+        self.t.labels[vrange.0 as usize..(vrange.0 + vrange.1) as usize].copy_from_slice(&labels);
+        let node = &mut self.t.nodes[id];
         node.kind = NodeKind::NonSingletonLeaf;
-        node.labels = labels;
-        node.form = form;
-        node.leaf_generators = leaf_generators;
+        node.fcolors = fcolors;
+        node.fedges = fedges;
+        // dvicl-lint: allow(narrowing-cast) -- generator count per leaf is < n <= V::MAX
+        node.gens = (gstart, generators.len() as u32);
         Ok(())
     }
 
@@ -344,47 +439,55 @@ impl<'a> Builder<'a> {
     fn combine_st(&mut self, id: NodeId, sub: &Sub, mut children: Vec<NodeId>) {
         let _span = obs::span("core.combine");
         // Line 1: non-descending certificate order.
-        children.sort_by(|&a, &b| self.nodes[a].form.cmp(&self.nodes[b].form));
+        children.sort_by(|&a, &b| self.t.node(a).form().cmp(&self.t.node(b).form()));
         // Runs of equal certificates = classes of symmetric siblings.
-        let mut sibling_classes: Vec<(usize, usize)> = Vec::new();
+        let mut sibling_classes: Vec<(u32, u32)> = Vec::new();
         let mut start = 0;
         for i in 1..=children.len() {
             if i == children.len()
-                || self.nodes[children[i]].form != self.nodes[children[start]].form
+                || self.t.node(children[i]).form() != self.t.node(children[start]).form()
             {
-                sibling_classes.push((start, i));
+                // dvicl-lint: allow(narrowing-cast) -- class bounds index the child list, <= g.n() <= V::MAX
+                sibling_classes.push((start as u32, i as u32));
                 start = i;
             }
         }
         // (child position, in-child label) per global vertex.
         let mut key: FxHashMap<V, (u32, V)> = FxHashMap::default();
         for (pos, &c) in children.iter().enumerate() {
-            let child = &self.nodes[c];
-            for (i, &v) in child.verts.iter().enumerate() {
+            let child = self.t.node(c);
+            for (i, &v) in child.verts().iter().enumerate() {
                 // dvicl-lint: allow(narrowing-cast) -- pos < children.len() <= g.n() <= V::MAX
-                key.insert(v, (pos as u32, child.labels[i]));
+                key.insert(v, (pos as u32, child.labels()[i]));
             }
         }
         // Lines 2–5: rank within each cell of π_g.
+        let verts = self.arena.verts(sub);
         let mut labels = vec![0 as V; sub.n()];
-        for cell in sub.cells(&self.pi) {
-            let mut members = cell.members.clone();
-            members.sort_unstable_by_key(|&i| key[&sub.verts[i as usize]]);
+        for cell in self.arena.cells(sub, &self.t.pi) {
+            let mut members = cell.members;
+            members.sort_unstable_by_key(|&i| key[&verts[i as usize]]);
             for (rank, &i) in members.iter().enumerate() {
                 labels[i as usize] = cell.color + rank as V;
             }
         }
         // Line 6: C(g, π_g) = (g, π_g)^{γ_g} over the *induced* subgraph
         // (including any edges the divide rules deleted).
-        let (local_g, _) = sub.to_local_graph(&self.pi);
-        let colors: Vec<V> = sub.verts.iter().map(|&v| self.pi.color_of(v)).collect();
+        let (local_g, _) = self.arena.to_local_graph(sub, &self.t.pi);
+        let colors: Vec<V> = verts.iter().map(|&v| self.t.pi.color_of(v)).collect();
         let form = CanonForm::new(&local_g, &colors, &labels);
-        let node = &mut self.nodes[id];
+        let fcolors = push_range(&mut self.t.form_colors, &form.colors);
+        let fedges = push_range(&mut self.t.form_edges, &form.edges);
+        let crange = push_range(&mut self.t.children, &children);
+        let classes = push_range(&mut self.t.classes, &sibling_classes);
+        let vrange = self.t.nodes[id].verts;
+        self.t.labels[vrange.0 as usize..(vrange.0 + vrange.1) as usize].copy_from_slice(&labels);
+        let node = &mut self.t.nodes[id];
         node.kind = NodeKind::Internal;
-        node.children = children;
-        node.sibling_classes = sibling_classes;
-        node.labels = labels;
-        node.form = form;
+        node.children = crange;
+        node.classes = classes;
+        node.fcolors = fcolors;
+        node.fedges = fedges;
     }
 }
 
@@ -426,8 +529,8 @@ mod tests {
         assert_eq!(stats.depth, 2);
         // The triangle's three singleton children are one sibling class.
         let tri = t.deepest_containing(&[4, 5, 6]);
-        assert_eq!(t.node(tri).children.len(), 3);
-        assert_eq!(t.node(tri).sibling_classes, vec![(0, 3)]);
+        assert_eq!(t.node(tri).children().len(), 3);
+        assert_eq!(t.node(tri).sibling_classes(), vec![(0, 3)]);
     }
 
     #[test]
@@ -501,7 +604,7 @@ mod tests {
             let t = tree_of(&g);
             let perm = t.canonical_labeling();
             let direct = CanonForm::new(&g, t.pi.colors(), perm.as_slice());
-            assert_eq!(&direct, t.canonical_form());
+            assert_eq!(direct.view(), t.canonical_form());
         }
     }
 
@@ -515,7 +618,7 @@ mod tests {
         assert_eq!(s.total_nodes, 1);
         assert_eq!(s.non_singleton_leaves, 1);
         assert_eq!(s.depth, 0);
-        assert_eq!(t.node(t.root()).kind, NodeKind::NonSingletonLeaf);
+        assert_eq!(t.node(t.root()).kind(), NodeKind::NonSingletonLeaf);
     }
 
     #[test]
@@ -554,16 +657,16 @@ mod tests {
         let t_split = build_autotree(&g, &split, &DviclOptions::default());
         assert_ne!(t_unit.canonical_form(), t_split.canonical_form());
         // And the two cycles are one sibling class only under unit colors.
-        assert_eq!(t_unit.node(t_unit.root()).sibling_classes.len(), 1);
-        assert_eq!(t_split.node(t_split.root()).sibling_classes.len(), 2);
+        assert_eq!(t_unit.node(t_unit.root()).sibling_classes().len(), 1);
+        assert_eq!(t_split.node(t_split.root()).sibling_classes().len(), 2);
     }
 
     #[test]
     fn disconnected_graphs_work() {
         let g = named::petersen().disjoint_union(&named::petersen());
         let t = tree_of(&g);
-        assert_eq!(t.node(t.root()).children.len(), 2);
-        assert_eq!(t.node(t.root()).sibling_classes, vec![(0, 2)]);
+        assert_eq!(t.node(t.root()).children().len(), 2);
+        assert_eq!(t.node(t.root()).sibling_classes(), vec![(0, 2)]);
         let gamma = pseudo_random_perm(20, 5);
         let t2 = tree_of(&g.permuted(&gamma));
         assert_eq!(t.canonical_form(), t2.canonical_form());
@@ -590,7 +693,7 @@ mod tests {
             .expect("degradation absorbs work exhaustion");
         assert!(out.degraded);
         assert_eq!(out.tree.stats().total_nodes, 1);
-        assert_eq!(out.tree.node(out.tree.root()).kind, NodeKind::NonSingletonLeaf);
+        assert_eq!(out.tree.node(out.tree.root()).kind(), NodeKind::NonSingletonLeaf);
         // The degraded certificate is still relabeling-invariant.
         let gamma = pseudo_random_perm(8, 42);
         let out2 = build_autotree_resilient(
@@ -641,7 +744,7 @@ mod tests {
         let t2 = tree_of(&Graph::empty(3));
         // Three isolated same-color vertices: one class of three singleton
         // children.
-        assert_eq!(t2.node(t2.root()).sibling_classes, vec![(0, 3)]);
+        assert_eq!(t2.node(t2.root()).sibling_classes(), vec![(0, 3)]);
         let k2 = tree_of(&named::complete(2));
         assert_eq!(k2.stats().singleton_leaves, 2);
     }

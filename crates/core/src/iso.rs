@@ -214,17 +214,17 @@ pub fn are_isomorphic_joint(g1: &Graph, g2: &Graph) -> bool {
     // child-class is evenly split between the two sides — equivalently,
     // iff side 0's multiset of child certificates equals side 1's.
     let root = tree.node(tree.root());
-    let mut side1: Vec<&dvicl_graph::CanonForm> = Vec::new();
-    let mut side2: Vec<&dvicl_graph::CanonForm> = Vec::new();
-    for &c in &root.children {
+    let mut side1: Vec<dvicl_graph::FormRef> = Vec::new();
+    let mut side2: Vec<dvicl_graph::FormRef> = Vec::new();
+    for &c in root.children() {
         let node = tree.node(c);
-        if node.verts == [u] {
+        if node.verts() == [u] {
             continue;
         }
-        if node.verts.iter().all(|&v| v < shift) {
-            side1.push(&node.form);
-        } else if node.verts.iter().all(|&v| v >= shift && v < u) {
-            side2.push(&node.form);
+        if node.verts().iter().all(|&v| v < shift) {
+            side1.push(node.form());
+        } else if node.verts().iter().all(|&v| v >= shift && v < u) {
+            side2.push(node.form());
         } else {
             // dvicl-lint: allow(panic-freedom) -- root children refine connected components, and every component of joint minus the axis lies wholly on one side
             unreachable!("a root child mixes the two sides");

@@ -58,7 +58,7 @@ pub fn try_k_symmetric_extension(
     // Special case: the root is itself a leaf (e.g. a rigid regular
     // graph). The only duplicable unit is the whole graph; clones are
     // disjoint copies.
-    if root.children.is_empty() {
+    if root.children().is_empty() {
         if k == 1 || n0 == 0 {
             return Ok((
                 g.clone(),
@@ -86,8 +86,8 @@ pub fn try_k_symmetric_extension(
 
     // Which root child each original vertex belongs to.
     let mut child_of = vec![u32::MAX; n0];
-    for (idx, &c) in root.children.iter().enumerate() {
-        for &v in &tree.node(c).verts {
+    for (idx, &c) in root.children().iter().enumerate() {
+        for &v in tree.node(c).verts() {
             // dvicl-lint: allow(narrowing-cast) -- idx indexes root.children, and the tree has at most n <= V::MAX root children
             child_of[v as usize] = idx as u32;
         }
@@ -105,12 +105,12 @@ pub fn try_k_symmetric_extension(
     // Clone jobs: (template child node, fresh child index).
     let mut jobs: Vec<crate::tree::NodeId> = Vec::new();
     let mut duplicated_classes = 0;
-    for &(start, end) in &root.sibling_classes {
-        let c = end - start;
+    for &(start, end) in root.sibling_classes() {
+        let c = (end - start) as usize;
         if c < k {
             duplicated_classes += 1;
             for _ in 0..(k - c) {
-                jobs.push(root.children[start]);
+                jobs.push(root.children()[start as usize]);
             }
         }
     }
@@ -136,7 +136,7 @@ pub fn try_k_symmetric_extension(
             .push((v, child_of[v as usize]));
     }
     // dvicl-lint: allow(narrowing-cast) -- the root has at most n <= V::MAX children
-    let num_children = root.children.len() as u32;
+    let num_children = root.children().len() as u32;
     for (j, &template) in jobs.iter().enumerate() {
         let t = tree.node(template);
         budget.spend(t.n() as u64)?;
@@ -144,7 +144,7 @@ pub fn try_k_symmetric_extension(
         let child_idx = num_children + j as u32;
         let ids: Vec<V> = (0..t.n()).map(|i| next + i as V).collect();
         next += t.n() as V;
-        for (i, &orig) in t.verts.iter().enumerate() {
+        for (i, &orig) in t.verts().iter().enumerate() {
             cell_members
                 .entry(tree.pi.color_of(orig))
                 .or_default()
@@ -162,7 +162,7 @@ pub fn try_k_symmetric_extension(
     child_of_all[..n0].copy_from_slice(&child_of[..n0]);
     for (j, &template) in jobs.iter().enumerate() {
         let t = tree.node(template);
-        for (i, &orig) in t.verts.iter().enumerate() {
+        for (i, &orig) in t.verts().iter().enumerate() {
             let cv = clone_ids[j][i] as usize;
             color_of[cv] = tree.pi.color_of(orig);
             // dvicl-lint: allow(narrowing-cast) -- j < jobs.len() <= (k - 1) * n clones, bounded well below u32::MAX by the budget
@@ -179,12 +179,12 @@ pub fn try_k_symmetric_extension(
     for (j, &template) in jobs.iter().enumerate() {
         let t = tree.node(template);
         let local: FxHashMap<V, usize> = t
-            .verts
+            .verts()
             .iter()
             .enumerate()
             .map(|(i, &v)| (v, i))
             .collect();
-        for (i, &orig) in t.verts.iter().enumerate() {
+        for (i, &orig) in t.verts().iter().enumerate() {
             for &w in g.neighbors(orig) {
                 if let Some(&lw) = local.get(&w) {
                     if lw > i {

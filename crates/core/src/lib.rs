@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 pub mod aut;
 mod build;
 pub mod iso;
@@ -36,8 +37,9 @@ pub use build::{
     build_autotree, build_autotree_resilient, build_autotree_whole_leaf, try_build_autotree,
     BuildOutcome, DviclOptions,
 };
+pub use arena::{ArenaMark, SubArena};
 pub use sub::{Division, Sub, SubCell};
-pub use tree::{AutoTree, Node, NodeId, NodeKind, TreeStats};
+pub use tree::{AutoTree, Node, NodeId, NodeKind, NodeRef, TreeStats};
 
 /// Execution governance (re-export of `dvicl-govern`): [`govern::Budget`],
 /// [`govern::CancelToken`], [`govern::DviclError`].
@@ -46,12 +48,14 @@ pub use dvicl_govern::{Budget, CancelToken, DviclError};
 
 use dvicl_graph::{CanonForm, Coloring, Graph};
 
+pub use dvicl_graph::FormRef;
+
 /// Canonically labels `g` (unit coloring, default options) and returns the
 /// certificate.
 pub fn canonical_form(g: &Graph) -> CanonForm {
     build_autotree(g, &Coloring::unit(g.n()), &DviclOptions::default())
         .canonical_form()
-        .clone()
+        .to_form()
 }
 
 /// True iff the two graphs are isomorphic (unit colorings).

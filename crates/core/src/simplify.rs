@@ -149,7 +149,7 @@ pub fn dvicl_simplified(g: &Graph, pi0: &Coloring, opts: &DviclOptions) -> Simpl
         multiplicities[labeling.apply(local as V) as usize] = s;
     }
     let certificate = SimplifiedCertificate {
-        form: tree.canonical_form().clone(),
+        form: tree.canonical_form().to_form(),
         multiplicities,
     };
     SimplifiedDvicl {

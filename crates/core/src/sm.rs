@@ -100,33 +100,60 @@ fn sm_rec(
     }
     let qv = order[k];
     // Candidates: neighbors of an already-matched neighbor when one
-    // exists, otherwise all vertices.
+    // exists, otherwise all vertices. Iterated straight off the CSR row
+    // (or the index range) — no per-search-node candidate `Vec`.
     let anchor = q.neighbors(qv).iter().find_map(|&w| {
         let img = image[w as usize];
         (img != V::MAX).then_some(img)
     });
-    let candidates: Vec<V> = match anchor {
-        Some(a) => g.neighbors(a).to_vec(),
-        None => (0..g.n() as V).collect(),
-    };
-    for w in candidates {
-        if used[w as usize] || g.degree(w) < q.degree(qv) {
-            continue;
+    match anchor {
+        Some(a) => {
+            for &w in g.neighbors(a) {
+                sm_try(g, q, order, k, w, image, used, out, limit, budget)?;
+            }
         }
-        // Induced consistency with every matched query vertex.
-        let ok = order[..k].iter().all(|&u| {
-            let gu = image[u as usize];
-            q.has_edge(u, qv) == g.has_edge(gu, w)
-        });
-        if !ok {
-            continue;
+        None => {
+            // dvicl-lint: allow(narrowing-cast) -- g.n() <= V::MAX by Graph's construction invariant
+            for w in 0..g.n() as V {
+                sm_try(g, q, order, k, w, image, used, out, limit, budget)?;
+            }
         }
-        image[qv as usize] = w;
-        used[w as usize] = true;
-        sm_rec(g, q, order, k + 1, image, used, out, limit, budget)?;
-        used[w as usize] = false;
-        image[qv as usize] = V::MAX;
     }
+    Ok(())
+}
+
+/// Tries `w` as the image of `order[k]` and recurses on consistency.
+#[allow(clippy::too_many_arguments)]
+// dvicl-lint: allow(budget-threading) -- per-candidate filter; the recursion it guards spends one unit per sm_rec call
+fn sm_try(
+    g: &Graph,
+    q: &Graph,
+    order: &[V],
+    k: usize,
+    w: V,
+    image: &mut Vec<V>,
+    used: &mut Vec<bool>,
+    out: &mut FxHashSet<Vec<V>>,
+    limit: usize,
+    budget: &Budget,
+) -> Result<(), DviclError> {
+    let qv = order[k];
+    if used[w as usize] || g.degree(w) < q.degree(qv) {
+        return Ok(());
+    }
+    // Induced consistency with every matched query vertex.
+    let ok = order[..k].iter().all(|&u| {
+        let gu = image[u as usize];
+        q.has_edge(u, qv) == g.has_edge(gu, w)
+    });
+    if !ok {
+        return Ok(());
+    }
+    image[qv as usize] = w;
+    used[w as usize] = true;
+    sm_rec(g, q, order, k + 1, image, used, out, limit, budget)?;
+    used[w as usize] = false;
+    image[qv as usize] = V::MAX;
     Ok(())
 }
 

@@ -26,7 +26,7 @@
 use crate::tree::{AutoTree, NodeId, NodeKind};
 use dvicl_canon::{try_canonical_form as ir_try_canonical_form, Config};
 use dvicl_govern::{Budget, DviclError};
-use dvicl_graph::{Coloring, V};
+use dvicl_graph::{Coloring, GraphBuilder, V};
 use dvicl_group::BigUint;
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -48,14 +48,14 @@ impl SsmIndex {
         let n = tree.pi.n();
         let mut leaf_of = vec![usize::MAX; n];
         let mut pos_in_parent = vec![0u32; tree.len()];
-        for (id, node) in tree.nodes().iter().enumerate() {
-            for (pos, &c) in node.children.iter().enumerate() {
+        for node in tree.nodes() {
+            for (pos, &c) in node.children().iter().enumerate() {
                 // dvicl-lint: allow(narrowing-cast) -- a node has at most n <= V::MAX children
                 pos_in_parent[c] = pos as u32;
             }
-            if node.children.is_empty() {
-                for &v in &node.verts {
-                    leaf_of[v as usize] = id;
+            if node.children().is_empty() {
+                for &v in node.verts() {
+                    leaf_of[v as usize] = node.id();
                 }
             }
         }
@@ -72,7 +72,7 @@ impl SsmIndex {
         let mut cur = self.leaf_of[v as usize];
         loop {
             // dvicl-lint: allow(panic-freedom) -- the caller guarantees v lies strictly below node, so the walk hits node before the root
-            let parent = tree.node(cur).parent.expect("v lies under node");
+            let parent = tree.node(cur).parent().expect("v lies under node");
             if parent == node {
                 return cur;
             }
@@ -146,7 +146,7 @@ pub fn try_symmetric_key(
     budget: &Budget,
 ) -> Result<Vec<u8>, DviclError> {
     let set = validate_set(tree, set)?;
-    Ok(analyze(tree, index, tree.root(), &set, budget)?.0)
+    Ok(analyze(tree, index, tree.root(), &set, budget, &mut GraphBuilder::new(0))?.0)
 }
 
 /// Exact number of distinct images of `set` under `Aut(G, π)` (including
@@ -180,7 +180,7 @@ pub fn try_count_images(
 ) -> Result<BigUint, DviclError> {
     let _span = dvicl_obs::span("core.ssm");
     let set = validate_set(tree, set)?;
-    Ok(analyze(tree, index, tree.root(), &set, budget)?.1)
+    Ok(analyze(tree, index, tree.root(), &set, budget, &mut GraphBuilder::new(0))?.1)
 }
 
 /// True iff some automorphism maps `a` onto `b` (as sets).
@@ -209,26 +209,31 @@ pub fn try_same_symmetry(
     if a == b {
         return Ok(true);
     }
-    Ok(analyze(tree, index, tree.root(), &a, budget)?.0
-        == analyze(tree, index, tree.root(), &b, budget)?.0)
+    let mut builder = GraphBuilder::new(0);
+    Ok(analyze(tree, index, tree.root(), &a, budget, &mut builder)?.0
+        == analyze(tree, index, tree.root(), &b, budget, &mut builder)?.0)
 }
 
 /// Recursive analysis: (canonical pattern key, image count) of `set` within
 /// the subgraph of `node`. `set` is sorted and entirely inside the node.
 /// Spends one work unit per visited tree node.
+///
+/// `builder` is one query-wide [`GraphBuilder`]: every non-singleton leaf
+/// the query touches rebuilds its local graph through the same buffers.
 fn analyze(
     tree: &AutoTree,
     index: &SsmIndex,
     node: NodeId,
     set: &[V],
     gov: &Budget,
+    builder: &mut GraphBuilder,
 ) -> Result<(Vec<u8>, BigUint), DviclError> {
     dvicl_obs::bump(dvicl_obs::Counter::SsmStates);
     gov.spend(1)?;
     let n = tree.node(node);
-    match n.kind {
+    match n.kind() {
         NodeKind::SingletonLeaf => Ok((vec![0x01], BigUint::one())),
-        NodeKind::NonSingletonLeaf => analyze_leaf(tree, node, set, gov),
+        NodeKind::NonSingletonLeaf => analyze_leaf(tree, node, set, gov, builder),
         NodeKind::Internal => {
             let parts = index.partition(tree, node, set);
             let mut key = Vec::new();
@@ -237,13 +242,13 @@ fn analyze(
             let analyzed: Vec<(u32, Vec<u8>, BigUint)> = parts
                 .into_iter()
                 .map(|(pos, child, subset)| {
-                    analyze(tree, index, child, &subset, gov).map(|(k, c)| (pos, k, c))
+                    analyze(tree, index, child, &subset, gov, builder).map(|(k, c)| (pos, k, c))
                 })
                 .collect::<Result<_, _>>()?;
-            for (class_idx, &(start, end)) in n.sibling_classes.iter().enumerate() {
+            for (class_idx, &(start, end)) in n.sibling_classes().iter().enumerate() {
                 let in_class: Vec<&(u32, Vec<u8>, BigUint)> = analyzed
                     .iter()
-                    .filter(|&&(pos, _, _)| start <= pos as usize && (pos as usize) < end)
+                    .filter(|&&(pos, _, _)| start <= pos && pos < end)
                     .collect();
                 if in_class.is_empty() {
                     continue;
@@ -297,15 +302,15 @@ fn analyze_leaf(
     node: NodeId,
     set: &[V],
     gov: &Budget,
+    builder: &mut GraphBuilder,
 ) -> Result<(Vec<u8>, BigUint), DviclError> {
     let n = tree.node(node);
     // Local graph + colors with the set distinguished.
-    let verts = &n.verts;
+    let verts = n.verts();
     let in_set: Vec<bool> = verts
         .iter()
         .map(|v| set.binary_search(v).is_ok())
         .collect();
-    let mut edges = Vec::new();
     let vmap: FxHashMap<V, u32> = verts
         .iter()
         .enumerate()
@@ -317,14 +322,15 @@ fn analyze_leaf(
     // cheaper to rebuild from labels. `form.edges` are (γ(u), γ(v)); invert
     // the labels to get local endpoints.
     let mut label_to_local: FxHashMap<V, u32> = FxHashMap::default();
-    for (i, &l) in n.labels.iter().enumerate() {
+    for (i, &l) in n.labels().iter().enumerate() {
         // dvicl-lint: allow(narrowing-cast) -- i indexes the leaf's labels, at most n <= V::MAX
         label_to_local.insert(l, i as u32);
     }
-    for &(la, lb) in &n.form.edges {
-        edges.push((label_to_local[&la], label_to_local[&lb]));
+    builder.reset(verts.len());
+    for &(la, lb) in n.form().edges {
+        builder.add_edge(label_to_local[&la], label_to_local[&lb]);
     }
-    let g = dvicl_graph::Graph::from_edges(verts.len(), &edges);
+    let g = builder.build_reusing();
     // Colors: (global color, in-set flag) — from_labels orders cells by
     // value, so in-set halves follow out-set halves deterministically.
     let labels: Vec<V> = verts
@@ -346,8 +352,7 @@ fn analyze_leaf(
     // Orbit of the set under the leaf group (as local index sets).
     let local_set: Vec<u32> = set.iter().map(|v| vmap[v]).collect();
     let gens: Vec<FxHashMap<u32, u32>> = n
-        .leaf_generators
-        .iter()
+        .leaf_generators()
         .map(|sparse| {
             sparse
                 .iter()
@@ -445,11 +450,15 @@ pub fn try_enumerate_images(
 ) -> Result<SsmMatches, DviclError> {
     let _span = dvicl_obs::span("core.ssm");
     let set = validate_set(tree, set)?;
+    let mut builder = GraphBuilder::new(0);
     let mut slots = limit;
-    let matches = enum_at(tree, index, tree.root(), &set, &mut slots, budget)?;
+    let matches = enum_at(tree, index, tree.root(), &set, &mut slots, budget, &mut builder)?;
     // The run is truncated iff the true image count exceeds what was
     // returned (the slot accounting inside the recursion is conservative).
-    let truncated = match analyze(tree, index, tree.root(), &set, budget)?.1.to_u64() {
+    let truncated = match analyze(tree, index, tree.root(), &set, budget, &mut builder)?
+        .1
+        .to_u64()
+    {
         Some(c) => c as usize != matches.len(),
         None => true,
     };
@@ -463,6 +472,7 @@ fn enum_at(
     set: &[V],
     slots: &mut usize,
     gov: &Budget,
+    builder: &mut GraphBuilder,
 ) -> Result<Vec<Vec<V>>, DviclError> {
     dvicl_obs::bump(dvicl_obs::Counter::SsmStates);
     gov.spend(1)?;
@@ -470,14 +480,14 @@ fn enum_at(
         return Ok(Vec::new());
     }
     let n = tree.node(node);
-    match n.kind {
+    match n.kind() {
         NodeKind::SingletonLeaf => {
             *slots = slots.saturating_sub(1);
             Ok(vec![set.to_vec()])
         }
         NodeKind::NonSingletonLeaf => {
             let vmap: FxHashMap<V, u32> = n
-                .verts
+                .verts()
                 .iter()
                 .enumerate()
                 // dvicl-lint: allow(narrowing-cast) -- i indexes the leaf's vertices, at most n <= V::MAX
@@ -485,8 +495,7 @@ fn enum_at(
                 .collect();
             let local: Vec<u32> = set.iter().map(|v| vmap[v]).collect();
             let gens: Vec<FxHashMap<u32, u32>> = n
-                .leaf_generators
-                .iter()
+                .leaf_generators()
                 .map(|s| s.iter().map(|&(a, b)| (vmap[&a], vmap[&b])).collect())
                 .collect();
             let orbit = orbit_of_set(&local, &gens, Some(*slots), gov)?.unwrap_or_default();
@@ -494,7 +503,7 @@ fn enum_at(
                 .into_iter()
                 .take(*slots)
                 .map(|s| {
-                    let mut g: Vec<V> = s.iter().map(|&i| n.verts[i as usize]).collect();
+                    let mut g: Vec<V> = s.iter().map(|&i| n.verts()[i as usize]).collect();
                     g.sort_unstable();
                     g
                 })
@@ -507,10 +516,10 @@ fn enum_at(
             // Per class: the list of vertex-set options the class can
             // contribute (one per combined assignment + image choice).
             let mut per_class_options: Vec<Vec<Vec<V>>> = Vec::new();
-            for &(start, end) in &n.sibling_classes {
+            for &(start, end) in n.sibling_classes() {
                 let instances: Vec<&(u32, NodeId, Vec<V>)> = parts
                     .iter()
-                    .filter(|&&(pos, _, _)| start <= pos as usize && (pos as usize) < end)
+                    .filter(|&&(pos, _, _)| start <= pos && pos < end)
                     .collect();
                 if instances.is_empty() {
                     continue;
@@ -520,13 +529,13 @@ fn enum_at(
                 // Group instances by key to avoid duplicate assignments.
                 let mut keyed: Vec<KeyedInstance> = Vec::with_capacity(instances.len());
                 for inst in &instances {
-                    keyed.push((analyze(tree, index, inst.1, &inst.2, gov)?.0, *inst));
+                    keyed.push((analyze(tree, index, inst.1, &inst.2, gov, builder)?.0, *inst));
                 }
                 keyed.sort_by(|a, b| a.0.cmp(&b.0));
                 // For each run of equal keys, enumerate combinations of
                 // target children; accumulate class-level option lists.
                 let class_children: Vec<NodeId> =
-                    n.children[start..end].to_vec();
+                    n.children()[start as usize..end as usize].to_vec();
                 let class_options = assign_and_enumerate(
                     tree,
                     index,
@@ -534,6 +543,7 @@ fn enum_at(
                     &class_children,
                     slots,
                     gov,
+                    builder,
                 )?;
                 per_class_options.push(class_options);
             }
@@ -573,6 +583,7 @@ fn assign_and_enumerate(
     class_children: &[NodeId],
     slots: &mut usize,
     gov: &Budget,
+    builder: &mut GraphBuilder,
 ) -> Result<Vec<Vec<V>>, DviclError> {
     // Runs of equal keys.
     let mut runs: Vec<(usize, usize)> = Vec::new();
@@ -601,6 +612,7 @@ fn assign_and_enumerate(
         &mut results,
         slots,
         gov,
+        builder,
     )?;
     Ok(results)
 }
@@ -618,6 +630,7 @@ fn assign_rec(
     results: &mut Vec<Vec<V>>,
     slots: &mut usize,
     gov: &Budget,
+    builder: &mut GraphBuilder,
 ) -> Result<(), DviclError> {
     dvicl_obs::bump(dvicl_obs::Counter::SsmStates);
     gov.spend(1)?;
@@ -634,7 +647,7 @@ fn assign_rec(
             let home = inst.1;
             let target = class_children[slot];
             let mut local_slots = *slots;
-            let home_images = enum_at(tree, index, home, &inst.2, &mut local_slots, gov)?;
+            let home_images = enum_at(tree, index, home, &inst.2, &mut local_slots, gov, builder)?;
             // Transfer each image to the target child.
             let images: Vec<Vec<V>> = if home == target {
                 home_images
@@ -719,6 +732,7 @@ fn assign_rec(
             results,
             slots,
             gov,
+            builder,
         )?;
         for &s in &picked {
             used[s] = false;

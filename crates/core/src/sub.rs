@@ -1,5 +1,4 @@
-//! Working subgraph representation for the DviCL recursion, plus the
-//! divide rules `DivideI` (Algorithm 2) and `DivideS` (Algorithm 3).
+//! Working subgraph representation for the DviCL recursion.
 //!
 //! A [`Sub`] is a colored subgraph `(g, π_g)` of the input graph: vertices
 //! keep their *global* identities and their *global* colors (the paper's
@@ -9,18 +8,51 @@
 //! tree nodes that way in Section 5) — the edges deleted by the divide
 //! rules only decide the component structure, they reappear inside any
 //! child that retains both endpoints.
+//!
+//! Storage lives in a [`SubArena`](crate::SubArena): a `Sub` is a plain
+//! `Copy` handle (offset ranges into the arena's flat vertex/CSR pools)
+//! rather than an owner of nested `Vec`s, so carving a child costs one
+//! bump of three stack tops and releasing it costs a truncate. All data
+//! access and the divide rules `DivideI`/`DivideS` are methods on the
+//! arena — see `crate::arena`.
 
-use dvicl_graph::{Coloring, Graph, V};
-use dvicl_obs::{self as obs, Counter};
-use rustc_hash::FxHashMap;
+use dvicl_graph::V;
 
-/// A colored subgraph `(g, π_g)` with global vertex identities.
-#[derive(Clone, Debug)]
+/// A colored subgraph `(g, π_g)` with global vertex identities: a compact
+/// handle into a [`SubArena`](crate::SubArena).
+///
+/// The handle is `Copy` and holds no pointers — only offsets — so it is
+/// trivially `Send`: a future parallel divide can ship handles (plus a
+/// shared read-only view of the parent segment) across threads without
+/// touching the storage layout.
+#[derive(Clone, Copy, Debug)]
 pub struct Sub {
-    /// Global vertex ids, ascending.
-    pub verts: Vec<V>,
-    /// Local adjacency: `adj[i]` lists local indices adjacent to `verts[i]`.
-    pub adj: Vec<Vec<u32>>,
+    /// Start of this subgraph's span in the arena's vertex pool.
+    pub(crate) verts_start: usize,
+    /// Start of this subgraph's `n + 1` offsets in the arena's offset
+    /// pool. Offset values are relative to `adj_start`.
+    pub(crate) offs_start: usize,
+    /// Start of this subgraph's adjacency span in the arena's CSR pool.
+    pub(crate) adj_start: usize,
+    /// Number of vertices.
+    pub(crate) n: usize,
+    /// Number of (undirected) edges, cached at construction — `m()` is a
+    /// field read, not a sum over adjacency rows.
+    pub(crate) m: usize,
+}
+
+impl Sub {
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges. Cached when the subgraph is carved — O(1).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
 }
 
 /// One color cell of `π_g`: the global color plus the local members.
@@ -34,281 +66,75 @@ pub struct SubCell {
 
 /// Result of a divide attempt: the child vertex sets (as local index
 /// lists), in an order that puts isolated axis singletons first.
+///
+/// Parts are stored flat (CSR-style `offs`/`members`) — a division never
+/// allocates per part.
+#[derive(Clone, Debug, Default)]
 pub struct Division {
-    /// Local-index vertex sets of the children.
-    pub parts: Vec<Vec<u32>>,
+    /// Part boundaries: part `i` is `members[offs[i] as usize..offs[i + 1] as usize]`.
+    pub(crate) offs: Vec<u32>,
+    /// Concatenated local-index lists, each part ascending.
+    pub(crate) members: Vec<u32>,
 }
 
-impl Sub {
-    /// The whole graph as a subgraph (the AutoTree root).
-    pub fn whole(g: &Graph) -> Sub {
-        let verts: Vec<V> = (0..g.n() as V).collect();
-        let adj = (0..g.n() as V)
-            .map(|v| g.neighbors(v).to_vec())
-            .collect();
-        Sub { verts, adj }
-    }
-
-    /// Number of vertices.
-    pub fn n(&self) -> usize {
-        self.verts.len()
-    }
-
-    /// Number of edges.
-    pub fn m(&self) -> usize {
-        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
-    }
-
-    /// The cells of `π_g`, ordered by global color.
-    pub fn cells(&self, pi: &Coloring) -> Vec<SubCell> {
-        let mut pairs: Vec<(V, u32)> = self
-            .verts
-            .iter()
-            .enumerate()
-            // dvicl-lint: allow(narrowing-cast) -- i indexes the subgraph's vertices, at most n <= V::MAX
-            .map(|(i, &v)| (pi.color_of(v), i as u32))
-            .collect();
-        pairs.sort_unstable();
-        let mut out: Vec<SubCell> = Vec::new();
-        for (color, i) in pairs {
-            match out.last_mut() {
-                Some(c) if c.color == color => c.members.push(i),
-                _ => out.push(SubCell {
-                    color,
-                    members: vec![i],
-                }),
-            }
-        }
-        out
-    }
-
-    /// The induced child subgraph on the given local indices.
-    pub fn induced_child(&self, locals: &[u32]) -> Sub {
-        let mut sorted: Vec<u32> = locals.to_vec();
-        sorted.sort_unstable_by_key(|&i| self.verts[i as usize]);
-        let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
-        for (new, &old) in sorted.iter().enumerate() {
-            // dvicl-lint: allow(narrowing-cast) -- new < locals.len() <= n <= V::MAX
-            remap.insert(old, new as u32);
-        }
-        let verts: Vec<V> = sorted.iter().map(|&i| self.verts[i as usize]).collect();
-        let adj: Vec<Vec<u32>> = sorted
-            .iter()
-            .map(|&old| {
-                let mut row: Vec<u32> = self.adj[old as usize]
-                    .iter()
-                    .filter_map(|w| remap.get(w).copied())
-                    .collect();
-                row.sort_unstable();
-                row
-            })
-            .collect();
-        Sub { verts, adj }
-    }
-
-    /// Connected components over local indices, with `banned[i]` vertices
-    /// and `dead` edges excluded. Components are ordered by minimum local
-    /// index; each is ascending.
-    fn components_excluding(
-        &self,
-        banned: &[bool],
-        edge_alive: impl Fn(u32, u32) -> bool,
-    ) -> Vec<Vec<u32>> {
-        let n = self.n();
-        let mut comp = vec![u32::MAX; n];
-        let mut out = Vec::new();
-        let mut stack = Vec::new();
-        // dvicl-lint: allow(narrowing-cast) -- n = self.n() <= V::MAX by Graph's construction invariant
-        for s in 0..n as u32 {
-            if banned[s as usize] || comp[s as usize] != u32::MAX {
-                continue;
-            }
-            // dvicl-lint: allow(narrowing-cast) -- at most n <= V::MAX components
-            let id = out.len() as u32;
-            comp[s as usize] = id;
-            stack.push(s);
-            let mut members = Vec::new();
-            while let Some(v) = stack.pop() {
-                members.push(v);
-                for &w in &self.adj[v as usize] {
-                    if banned[w as usize] || comp[w as usize] != u32::MAX || !edge_alive(v, w) {
-                        continue;
-                    }
-                    comp[w as usize] = id;
-                    stack.push(w);
-                }
-            }
-            members.sort_unstable();
-            out.push(members);
-        }
-        out
-    }
-
-    /// Plain component division: if `g` is disconnected, its components are
-    /// the children (the trivially automorphism-preserving divide the paper
-    /// leaves implicit). Returns `None` when connected.
-    pub fn divide_components(&self) -> Option<Division> {
-        let banned = vec![false; self.n()];
-        let parts = self.components_excluding(&banned, |_, _| true);
-        if parts.len() > 1 {
-            obs::bump(Counter::DivideComponents);
-            Some(Division { parts })
-        } else {
-            None
+impl Division {
+    pub(crate) fn new() -> Self {
+        Division {
+            offs: vec![0],
+            members: Vec::new(),
         }
     }
 
-    /// `DivideI` (Algorithm 2): isolate every singleton cell of `π_g` as a
-    /// one-vertex child; the connected components of the remainder are the
-    /// other children. Returns `None` if `π_g` has no singleton cell.
-    pub fn divide_i(&self, pi: &Coloring) -> Option<Division> {
-        let cells = self.cells(pi);
-        let singles: Vec<u32> = cells
-            .iter()
-            .filter(|c| c.members.len() == 1)
-            .map(|c| c.members[0])
-            .collect();
-        if singles.is_empty() || singles.len() == self.n() && self.n() == 1 {
-            return None;
-        }
-        let mut banned = vec![false; self.n()];
-        for &s in &singles {
-            banned[s as usize] = true;
-        }
-        let mut parts: Vec<Vec<u32>> = singles.iter().map(|&s| vec![s]).collect();
-        parts.extend(self.components_excluding(&banned, |_, _| true));
-        if parts.len() > 1 {
-            obs::bump(Counter::DivideIApplied);
-            Some(Division { parts })
-        } else {
-            None
-        }
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.offs.len() - 1
     }
 
-    /// `DivideS` (Algorithm 3): delete the edges inside every cell that
-    /// induces a clique and between every pair of cells joined completely
-    /// bipartitely (Theorem 6.4 shows `Aut(g, π_g)` is unaffected); if the
-    /// remainder is disconnected, its components are the children.
-    ///
-    /// Relies on `π_g` being equitable with respect to `g` (Theorem 6.1):
-    /// one member per cell is probed, the rest are guaranteed to agree.
-    pub fn divide_s(&self, pi: &Coloring) -> Option<Division> {
-        let cells = self.cells(pi);
-        let ncells = cells.len();
-        // cell_of[local] = index into `cells`.
-        let mut cell_of = vec![0u32; self.n()];
-        for (ci, cell) in cells.iter().enumerate() {
-            for &i in &cell.members {
-                // dvicl-lint: allow(narrowing-cast) -- ci < ncells <= n <= V::MAX
-                cell_of[i as usize] = ci as u32;
-            }
-        }
-        // For one probe vertex per cell, count neighbors per cell.
-        let mut full: Vec<Vec<bool>> = vec![Vec::new(); ncells];
-        let mut any_removal = false;
-        for (ci, cell) in cells.iter().enumerate() {
-            let probe = cell.members[0];
-            let mut counts = vec![0u32; ncells];
-            for &w in &self.adj[probe as usize] {
-                counts[cell_of[w as usize] as usize] += 1;
-            }
-            // full[ci][cj] = the probe sees ALL of cell cj (clique when
-            // ci == cj, complete bipartite otherwise).
-            full[ci] = (0..ncells)
-                .map(|cj| {
-                    let need = if cj == ci {
-                        // dvicl-lint: allow(narrowing-cast) -- a cell holds at most n <= V::MAX vertices
-                        cells[cj].members.len() as u32 - 1
-                    } else {
-                        // dvicl-lint: allow(narrowing-cast) -- a cell holds at most n <= V::MAX vertices
-                        cells[cj].members.len() as u32
-                    };
-                    need > 0 && counts[cj] == need
-                })
-                .collect();
-            if full[ci].iter().any(|&b| b) {
-                any_removal = true;
-            }
-            debug_assert!(
-                cell.members.iter().all(|&i| {
-                    let mut c2 = vec![0u32; ncells];
-                    for &w in &self.adj[i as usize] {
-                        c2[cell_of[w as usize] as usize] += 1;
-                    }
-                    c2 == counts
-                }),
-                "π_g not equitable w.r.t. g — Theorem 6.1 violated"
-            );
-        }
-        if !any_removal {
-            return None;
-        }
-        // An edge (v, w) is dead iff its cell pair is fully joined. Note
-        // full[ci][cj] must equal full[cj][ci] (both count the same
-        // biclique), so probing one side suffices.
-        let banned = vec![false; self.n()];
-        let parts = self.components_excluding(&banned, |v, w| {
-            let (cv, cw) = (cell_of[v as usize] as usize, cell_of[w as usize] as usize);
-            !full[cv][cw]
-        });
-        if parts.len() > 1 {
-            obs::bump(Counter::DivideSApplied);
-            let mut deleted: u64 = 0;
-            for (i, row) in self.adj.iter().enumerate() {
-                for &j in row {
-                    // dvicl-lint: allow(narrowing-cast) -- i indexes the subgraph's adjacency rows, at most n <= V::MAX
-                    if (i as u32) < j {
-                        let (ci, cj) = (cell_of[i] as usize, cell_of[j as usize] as usize);
-                        if full[ci][cj] {
-                            deleted += 1;
-                        }
-                    }
-                }
-            }
-            obs::add(Counter::DivideSEdgesDeleted, deleted);
-            Some(Division { parts })
-        } else {
-            None
-        }
+    /// True iff the division has no parts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
-    /// Builds a standalone [`Graph`] over the local indices, plus the local
-    /// projection of the coloring — the inputs `CombineCL` feeds to the IR
-    /// labeler.
-    pub fn to_local_graph(&self, pi: &Coloring) -> (Graph, Coloring) {
-        let mut edges = Vec::with_capacity(self.m());
-        for (i, row) in self.adj.iter().enumerate() {
-            for &j in row {
-                // dvicl-lint: allow(narrowing-cast) -- i indexes the subgraph's adjacency rows, at most n <= V::MAX
-                if (i as u32) < j {
-                    // dvicl-lint: allow(narrowing-cast) -- i indexes the subgraph's adjacency rows, at most n <= V::MAX
-                    edges.push((i as u32, j));
-                }
-            }
-        }
-        let g = Graph::from_edges(self.n(), &edges);
-        let pi_local = pi.project(&self.verts);
-        (g, pi_local)
+    /// The local-index list of part `i`, ascending.
+    pub fn part(&self, i: usize) -> &[u32] {
+        &self.members[self.offs[i] as usize..self.offs[i + 1] as usize]
+    }
+
+    /// Iterator over the parts, in child order.
+    pub fn parts(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.len()).map(move |i| self.part(i))
+    }
+
+    /// Appends a one-vertex part.
+    pub(crate) fn push_singleton(&mut self, local: u32) {
+        self.members.push(local);
+        // dvicl-lint: allow(narrowing-cast) -- members holds at most n <= V::MAX local indices
+        self.offs.push(self.members.len() as u32);
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use dvicl_graph::named;
+    use crate::arena::SubArena;
+    use dvicl_graph::{named, Coloring, Graph};
     use dvicl_refine::refine;
 
     fn refined(g: &Graph) -> Coloring {
         refine(g, &Coloring::unit(g.n())).coloring
     }
 
+    fn parts_of(d: &super::Division) -> Vec<Vec<u32>> {
+        d.parts().map(|p| p.to_vec()).collect()
+    }
+
     #[test]
     fn whole_preserves_structure() {
         let g = named::fig1_example();
-        let s = Sub::whole(&g);
+        let mut a = SubArena::new();
+        let s = a.whole(&g);
         assert_eq!(s.n(), 8);
         assert_eq!(s.m(), 14);
-        let (local, _) = s.to_local_graph(&refined(&g));
+        let (local, _) = a.to_local_graph(&s, &refined(&g));
         assert_eq!(local, g);
     }
 
@@ -316,8 +142,9 @@ mod tests {
     fn cells_group_by_global_color() {
         let g = named::fig1_example();
         let pi = refined(&g); // [0..6 | 7]
-        let s = Sub::whole(&g);
-        let cells = s.cells(&pi);
+        let mut a = SubArena::new();
+        let s = a.whole(&g);
+        let cells = a.cells(&s, &pi);
         assert_eq!(cells.len(), 2);
         assert_eq!(cells[0].members.len(), 7);
         assert_eq!(cells[1].members, vec![7]);
@@ -329,11 +156,12 @@ mod tests {
         // and the triangle as two components.
         let g = named::fig1_example();
         let pi = refined(&g);
-        let s = Sub::whole(&g);
-        let d = s.divide_i(&pi).expect("hub is a singleton cell");
-        assert_eq!(d.parts.len(), 3);
-        assert_eq!(d.parts[0], vec![7]); // the axis
-        let mut rest: Vec<Vec<u32>> = d.parts[1..].to_vec();
+        let mut a = SubArena::new();
+        let s = a.whole(&g);
+        let d = a.divide_i(&s, &pi).expect("hub is a singleton cell");
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.part(0), &[7]); // the axis
+        let mut rest: Vec<Vec<u32>> = parts_of(&d)[1..].to_vec();
         rest.sort();
         assert_eq!(rest, vec![vec![0, 1, 2, 3], vec![4, 5, 6]]);
     }
@@ -342,21 +170,24 @@ mod tests {
     fn divide_i_requires_singletons() {
         let g = named::petersen();
         let pi = refined(&g);
-        assert!(Sub::whole(&g).divide_i(&pi).is_none());
+        let mut a = SubArena::new();
+        let s = a.whole(&g);
+        assert!(a.divide_i(&s, &pi).is_none());
     }
 
     #[test]
     fn divide_s_splits_clique_cell() {
-        // Two triangles sharing... take K3 with a pendant on each vertex:
-        // cells: {pendants}, {triangle}; triangle cell is a clique →
-        // removing it splits into 3 components of 2 vertices each.
+        // K3 with a pendant on each vertex: cells: {pendants}, {triangle};
+        // the triangle cell is a clique → removing it splits into 3
+        // components of 2 vertices each.
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 4), (2, 5)]);
         let pi = refined(&g);
-        let s = Sub::whole(&g);
-        assert!(s.divide_i(&pi).is_none());
-        let d = s.divide_s(&pi).expect("clique cell splits");
-        assert_eq!(d.parts.len(), 3);
-        for p in &d.parts {
+        let mut a = SubArena::new();
+        let s = a.whole(&g);
+        assert!(a.divide_i(&s, &pi).is_none());
+        let d = a.divide_s(&s, &pi).expect("clique cell splits");
+        assert_eq!(d.len(), 3);
+        for p in d.parts() {
             assert_eq!(p.len(), 2);
         }
     }
@@ -368,26 +199,34 @@ mod tests {
         // removal separates {2},{3} from the left+pendant pairs.
         let g = Graph::from_edges(6, &[(0, 2), (0, 3), (1, 2), (1, 3), (0, 4), (1, 5)]);
         let pi = refined(&g);
-        let s = Sub::whole(&g);
-        let d = s.divide_s(&pi).expect("biclique edges removable");
-        assert_eq!(d.parts.len(), 4);
+        let mut a = SubArena::new();
+        let s = a.whole(&g);
+        let d = a.divide_s(&s, &pi).expect("biclique edges removable");
+        assert_eq!(d.len(), 4);
     }
 
     #[test]
     fn divide_s_none_when_not_fully_joined() {
         let g = named::cycle(6);
         let pi = refined(&g);
-        assert!(Sub::whole(&g).divide_s(&pi).is_none());
+        let mut a = SubArena::new();
+        let s = a.whole(&g);
+        assert!(a.divide_s(&s, &pi).is_none());
         let p = named::petersen();
-        assert!(Sub::whole(&p).divide_s(&refined(&p)).is_none());
+        let pp = refined(&p);
+        let mut a2 = SubArena::new();
+        let s2 = a2.whole(&p);
+        assert!(a2.divide_s(&s2, &pp).is_none());
     }
 
     #[test]
     fn complete_graph_divides_to_singletons() {
         let g = named::complete(4);
         let pi = refined(&g);
-        let d = Sub::whole(&g).divide_s(&pi).expect("K4 is one clique cell");
-        assert_eq!(d.parts.len(), 4);
+        let mut a = SubArena::new();
+        let s = a.whole(&g);
+        let d = a.divide_s(&s, &pi).expect("K4 is one clique cell");
+        assert_eq!(d.len(), 4);
     }
 
     #[test]
@@ -395,18 +234,23 @@ mod tests {
         // The paper's nodes are induced subgraphs: a child containing two
         // members of a removed clique cell gets that edge back.
         let g = named::complete(4);
-        let s = Sub::whole(&g);
-        let child = s.induced_child(&[1, 3]);
-        assert_eq!(child.verts, vec![1, 3]);
+        let mut a = SubArena::new();
+        let s = a.whole(&g);
+        let child = a.induced_child(&s, &[1, 3]);
+        assert_eq!(a.verts(&child), &[1, 3]);
         assert_eq!(child.m(), 1);
     }
 
     #[test]
     fn components_divide() {
         let g = named::cycle(3).disjoint_union(&named::cycle(3));
-        let s = Sub::whole(&g);
-        let d = s.divide_components().expect("disconnected");
-        assert_eq!(d.parts.len(), 2);
-        assert!(Sub::whole(&named::petersen()).divide_components().is_none());
+        let mut a = SubArena::new();
+        let s = a.whole(&g);
+        let d = a.divide_components(&s).expect("disconnected");
+        assert_eq!(d.len(), 2);
+        let p = named::petersen();
+        let mut a2 = SubArena::new();
+        let s2 = a2.whole(&p);
+        assert!(a2.divide_components(&s2).is_none());
     }
 }

@@ -5,12 +5,36 @@
 //! certificate `C(g, π_g)`. Children of an internal node are sorted by
 //! certificate, and runs of equal certificates form *sibling classes*:
 //! subgraphs that are symmetric in `G` (Lemmas 6.7/6.8).
+//!
+//! # Storage (DESIGN.md §10)
+//!
+//! The tree is column-oriented: a [`Node`] is a fixed-size record of
+//! `(start, len)` ranges into pools owned by the [`AutoTree`] — vertex
+//! ids, canonical labels, certificate color runs and edges, child ids,
+//! sibling-class runs, and leaf generators all live in eight shared
+//! flat arrays. A tree over a social-scale graph has tens of thousands
+//! of nodes, most of them singleton leaves; per-node `Vec`s spent more
+//! bytes on headers and allocator churn than on payload. Access goes
+//! through [`NodeRef`], a copyable `(tree, id)` handle.
 
-use dvicl_graph::{CanonForm, Coloring, Perm, V};
+use dvicl_graph::{Coloring, FormRef, Perm, V};
 use std::fmt;
 
 /// Index of a node in an [`AutoTree`].
 pub type NodeId = usize;
+
+/// A `(start, len)` range into one of the tree's pools.
+pub(crate) type PoolRange = (u32, u32);
+
+/// Sentinel for "no parent" (the root).
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// The empty pool range.
+pub(crate) const EMPTY: PoolRange = (0, 0);
+
+fn slice<T>(pool: &[T], r: PoolRange) -> &[T] {
+    &pool[r.0 as usize..(r.0 + r.1) as usize]
+}
 
 /// What kind of node: the paper's three cases of Algorithm 1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,49 +48,29 @@ pub enum NodeKind {
     Internal,
 }
 
-/// One node of the AutoTree.
-#[derive(Clone, Debug)]
+/// One node of the AutoTree: a compact record of ranges into the tree's
+/// pools (see the module docs). Read it through [`NodeRef`].
+#[derive(Clone, Copy, Debug)]
 pub struct Node {
-    /// Global vertex ids of `V(g)`, ascending.
-    pub verts: Vec<V>,
-    /// Canonical labels `γ_g(v)`, parallel to `verts`.
-    pub labels: Vec<V>,
-    /// The certificate `C(g, π_g) = (g, π_g)^{γ_g}`.
-    pub form: CanonForm,
-    /// Children, sorted by certificate (empty for leaves).
-    pub children: Vec<NodeId>,
-    /// Runs of equal-certificate children, as `[start, end)` ranges into
-    /// `children`: each run is one class of mutually symmetric siblings.
-    pub sibling_classes: Vec<(usize, usize)>,
+    /// `V(g)` and `γ_g`, as one shared range into the parallel
+    /// `verts`/`labels` pools.
+    pub(crate) verts: PoolRange,
+    /// Certificate color runs, into `form_colors`.
+    pub(crate) fcolors: PoolRange,
+    /// Certificate edges, into `form_edges`.
+    pub(crate) fedges: PoolRange,
+    /// Children (certificate-sorted), into `children`.
+    pub(crate) children: PoolRange,
+    /// Sibling-class runs, into `classes`.
+    pub(crate) classes: PoolRange,
+    /// Leaf generators, into `gen_ranges` (which points into `gen_pairs`).
+    pub(crate) gens: PoolRange,
     /// Node kind.
-    pub kind: NodeKind,
+    pub(crate) kind: NodeKind,
     /// Depth (root = 0).
-    pub depth: u32,
-    /// Parent (`None` for the root).
-    pub parent: Option<NodeId>,
-    /// For non-singleton leaves: automorphism generators of the leaf's
-    /// colored subgraph, as sparse global `(v, v^γ)` mappings.
-    pub leaf_generators: Vec<Vec<(V, V)>>,
-}
-
-impl Node {
-    /// The canonical label of global vertex `v` in this node, if present.
-    pub fn label_of(&self, v: V) -> Option<V> {
-        self.verts
-            .binary_search(&v)
-            .ok()
-            .map(|i| self.labels[i])
-    }
-
-    /// True iff `v ∈ V(g)`.
-    pub fn contains(&self, v: V) -> bool {
-        self.verts.binary_search(&v).is_ok()
-    }
-
-    /// Number of vertices.
-    pub fn n(&self) -> usize {
-        self.verts.len()
-    }
+    pub(crate) depth: u32,
+    /// Parent id, or [`NO_PARENT`] for the root.
+    pub(crate) parent: u32,
 }
 
 /// Structural statistics of an AutoTree — the rows of Tables 3 and 4.
@@ -93,6 +97,116 @@ pub struct AutoTree {
     pub pi: Coloring,
     pub(crate) nodes: Vec<Node>,
     pub(crate) root: NodeId,
+    /// Global vertex ids of every node, ascending within each node.
+    pub(crate) verts: Vec<V>,
+    /// Canonical labels, parallel to `verts`.
+    pub(crate) labels: Vec<V>,
+    /// Certificate color runs of every node.
+    pub(crate) form_colors: Vec<(V, V)>,
+    /// Certificate edges of every node.
+    pub(crate) form_edges: Vec<(V, V)>,
+    /// Child ids of every internal node, certificate-sorted.
+    pub(crate) children: Vec<NodeId>,
+    /// Sibling-class `[start, end)` runs into each node's child range.
+    pub(crate) classes: Vec<(u32, u32)>,
+    /// Per-generator ranges into `gen_pairs`.
+    pub(crate) gen_ranges: Vec<PoolRange>,
+    /// Sparse `(v, v^γ)` mappings of the non-singleton leaf generators.
+    pub(crate) gen_pairs: Vec<(V, V)>,
+}
+
+/// A borrowed node: `Copy`, so it can be held across further tree reads.
+/// All accessors return data with the *tree's* lifetime, not the
+/// handle's.
+#[derive(Clone, Copy)]
+pub struct NodeRef<'a> {
+    tree: &'a AutoTree,
+    id: NodeId,
+}
+
+impl<'a> NodeRef<'a> {
+    fn rec(self) -> &'a Node {
+        &self.tree.nodes[self.id]
+    }
+
+    /// This node's id.
+    pub fn id(self) -> NodeId {
+        self.id
+    }
+
+    /// Global vertex ids of `V(g)`, ascending.
+    pub fn verts(self) -> &'a [V] {
+        slice(&self.tree.verts, self.rec().verts)
+    }
+
+    /// Canonical labels `γ_g(v)`, parallel to [`NodeRef::verts`].
+    pub fn labels(self) -> &'a [V] {
+        slice(&self.tree.labels, self.rec().verts)
+    }
+
+    /// The certificate `C(g, π_g) = (g, π_g)^{γ_g}`.
+    pub fn form(self) -> FormRef<'a> {
+        let n = self.rec();
+        FormRef {
+            colors: slice(&self.tree.form_colors, n.fcolors),
+            edges: slice(&self.tree.form_edges, n.fedges),
+        }
+    }
+
+    /// Children, sorted by certificate (empty for leaves).
+    pub fn children(self) -> &'a [NodeId] {
+        slice(&self.tree.children, self.rec().children)
+    }
+
+    /// Runs of equal-certificate children, as `[start, end)` ranges into
+    /// [`NodeRef::children`]: each run is one class of mutually symmetric
+    /// siblings.
+    pub fn sibling_classes(self) -> &'a [(u32, u32)] {
+        slice(&self.tree.classes, self.rec().classes)
+    }
+
+    /// For non-singleton leaves: automorphism generators of the leaf's
+    /// colored subgraph, as sparse global `(v, v^γ)` mappings.
+    pub fn leaf_generators(self) -> impl ExactSizeIterator<Item = &'a [(V, V)]> {
+        let tree = self.tree;
+        slice(&tree.gen_ranges, self.rec().gens)
+            .iter()
+            .map(move |&r| slice(&tree.gen_pairs, r))
+    }
+
+    /// Node kind.
+    pub fn kind(self) -> NodeKind {
+        self.rec().kind
+    }
+
+    /// Depth (root = 0).
+    pub fn depth(self) -> u32 {
+        self.rec().depth
+    }
+
+    /// Parent (`None` for the root).
+    pub fn parent(self) -> Option<NodeId> {
+        let p = self.rec().parent;
+        (p != NO_PARENT).then_some(p as usize)
+    }
+
+    /// The canonical label of global vertex `v` in this node, if present.
+    pub fn label_of(self, v: V) -> Option<V> {
+        self.verts()
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.labels()[i])
+    }
+
+    /// True iff `v ∈ V(g)`.
+    pub fn contains(self, v: V) -> bool {
+        self.verts().binary_search(&v).is_ok()
+    }
+
+    /// Number of vertices.
+    pub fn n(self) -> usize {
+        self.rec().verts.1 as usize
+    }
 }
 
 impl AutoTree {
@@ -102,14 +216,15 @@ impl AutoTree {
     }
 
     /// A node by id.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id]
+    pub fn node(&self, id: NodeId) -> NodeRef<'_> {
+        debug_assert!(id < self.nodes.len());
+        NodeRef { tree: self, id }
     }
 
     /// All nodes (tree order is construction order: parents precede their
     /// children).
-    pub fn nodes(&self) -> &[Node] {
-        &self.nodes
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeRef<'_>> {
+        (0..self.nodes.len()).map(move |id| NodeRef { tree: self, id })
     }
 
     /// Number of nodes.
@@ -123,17 +238,17 @@ impl AutoTree {
     }
 
     /// The certificate of the whole graph: `C(G, π)` at the root.
-    pub fn canonical_form(&self) -> &CanonForm {
-        &self.nodes[self.root].form
+    pub fn canonical_form(&self) -> FormRef<'_> {
+        self.node(self.root).form()
     }
 
     /// The canonical labeling of the whole graph as a permutation
     /// (vertex → canonical position).
     pub fn canonical_labeling(&self) -> Perm {
-        let node = &self.nodes[self.root];
+        let node = self.node(self.root);
         let mut image = vec![0 as V; node.n()];
-        for (i, &v) in node.verts.iter().enumerate() {
-            image[v as usize] = node.labels[i];
+        for (i, &v) in node.verts().iter().enumerate() {
+            image[v as usize] = node.labels()[i];
         }
         // dvicl-lint: allow(panic-freedom) -- CombineST assigns the root a bijective labeling by construction
         Perm::from_image(image).expect("root labels form a permutation")
@@ -148,12 +263,13 @@ impl AutoTree {
         let mut ns_size_sum = 0usize;
         for node in &self.nodes {
             s.depth = s.depth.max(node.depth);
+            let n = node.verts.1 as usize;
             match node.kind {
                 NodeKind::SingletonLeaf => s.singleton_leaves += 1,
                 NodeKind::NonSingletonLeaf => {
                     s.non_singleton_leaves += 1;
-                    ns_size_sum += node.n();
-                    s.max_non_singleton_size = s.max_non_singleton_size.max(node.n());
+                    ns_size_sum += n;
+                    s.max_non_singleton_size = s.max_non_singleton_size.max(n);
                 }
                 NodeKind::Internal => {}
             }
@@ -170,8 +286,8 @@ impl AutoTree {
         assert!(!set.is_empty(), "empty vertex set");
         let mut cur = self.root;
         'descend: loop {
-            for &c in &self.nodes[cur].children {
-                if set.iter().all(|&v| self.nodes[c].contains(v)) {
+            for &c in self.node(cur).children() {
+                if set.iter().all(|&v| self.node(c).contains(v)) {
                     cur = c;
                     continue 'descend;
                 }
@@ -184,8 +300,8 @@ impl AutoTree {
     pub fn leaf_of(&self, v: V) -> NodeId {
         let mut cur = self.root;
         'descend: loop {
-            for &c in &self.nodes[cur].children {
-                if self.nodes[c].contains(v) {
+            for &c in self.node(cur).children() {
+                if self.node(c).contains(v) {
                     cur = c;
                     continue 'descend;
                 }
@@ -197,39 +313,39 @@ impl AutoTree {
     /// The sibling class (parent id, class range) containing child `id`;
     /// `None` for the root.
     pub fn class_of(&self, id: NodeId) -> Option<(NodeId, usize, usize)> {
-        let parent = self.nodes[id].parent?;
-        let p = &self.nodes[parent];
+        let parent = self.node(id).parent()?;
+        let p = self.node(parent);
         let pos = p
-            .children
+            .children()
             .iter()
             .position(|&c| c == id)
             // dvicl-lint: allow(panic-freedom) -- id's parent pointer and the parent's child list are kept consistent by the builder
             .expect("child listed in parent");
         let &(s, e) = p
-            .sibling_classes
+            .sibling_classes()
             .iter()
-            .find(|&&(s, e)| s <= pos && pos < e)
+            .find(|&&(s, e)| s as usize <= pos && pos < e as usize)
             // dvicl-lint: allow(panic-freedom) -- sibling_classes is a partition of 0..children.len(), so every position is covered
             .expect("classes cover children");
-        Some((parent, s, e))
+        Some((parent, s as usize, e as usize))
     }
 
     /// The isomorphism between two *symmetric sibling* nodes `a → b`
     /// (equal certificates under the same parent), as the sparse map
     /// matching equal canonical labels (`γ_{ij}` in SSM-AT).
     pub fn sibling_isomorphism(&self, a: NodeId, b: NodeId) -> Vec<(V, V)> {
-        let (na, nb) = (&self.nodes[a], &self.nodes[b]);
-        assert_eq!(na.form, nb.form, "siblings are not symmetric");
+        let (na, nb) = (self.node(a), self.node(b));
+        assert_eq!(na.form(), nb.form(), "siblings are not symmetric");
         let mut pa: Vec<(V, V)> = na
-            .labels
+            .labels()
             .iter()
-            .zip(&na.verts)
+            .zip(na.verts())
             .map(|(&l, &v)| (l, v))
             .collect();
         let mut pb: Vec<(V, V)> = nb
-            .labels
+            .labels()
             .iter()
-            .zip(&nb.verts)
+            .zip(nb.verts())
             .map(|(&l, &v)| (l, v))
             .collect();
         pa.sort_unstable();
@@ -252,8 +368,8 @@ impl AutoTree {
 
     fn render_rec(&self, id: NodeId, indent: usize, out: &mut String) {
         use fmt::Write;
-        let n = &self.nodes[id];
-        let kind = match n.kind {
+        let n = self.node(id);
+        let kind = match n.kind() {
             NodeKind::SingletonLeaf => "·",
             NodeKind::NonSingletonLeaf => "▣",
             NodeKind::Internal => "○",
@@ -262,13 +378,13 @@ impl AutoTree {
             out,
             "{:indent$}{kind} {:?} γ={:?}",
             "",
-            n.verts,
-            n.labels,
+            n.verts(),
+            n.labels(),
             indent = indent
         )
         // dvicl-lint: allow(panic-freedom) -- fmt::Write for String is infallible; the Err arm cannot occur
         .expect("writing to String cannot fail");
-        for &c in &n.children {
+        for &c in n.children() {
             self.render_rec(c, indent + 2, out);
         }
     }

@@ -27,7 +27,7 @@ proptest! {
         let plain = |g: &Graph| {
             build_autotree(g, &Coloring::unit(g.n()), &opts)
                 .canonical_form()
-                .clone()
+                .to_form()
         };
         let simplified = |g: &Graph| {
             simplify::dvicl_simplified(g, &Coloring::unit(g.n()), &opts).certificate

@@ -15,12 +15,12 @@ fn leaf_of_every_vertex() {
     for v in 0..8 {
         let leaf = t.leaf_of(v);
         assert!(t.node(leaf).contains(v));
-        assert!(t.node(leaf).children.is_empty());
+        assert!(t.node(leaf).children().is_empty());
     }
     // 4, 5, 6 are in distinct singleton leaves; 0..3 share the cycle leaf.
     assert_ne!(t.leaf_of(4), t.leaf_of(5));
     assert_eq!(t.leaf_of(0), t.leaf_of(2));
-    assert_eq!(t.node(t.leaf_of(0)).kind, NodeKind::NonSingletonLeaf);
+    assert_eq!(t.node(t.leaf_of(0)).kind(), NodeKind::NonSingletonLeaf);
 }
 
 #[test]
@@ -29,7 +29,7 @@ fn deepest_containing_grows_with_spread() {
     let t = tree_of(&g);
     // {4,5} lives in the triangle's internal node, {4,0} only at the root.
     let tri = t.deepest_containing(&[4, 5]);
-    assert_eq!(t.node(tri).verts, vec![4, 5, 6]);
+    assert_eq!(t.node(tri).verts(), vec![4, 5, 6]);
     assert_eq!(t.deepest_containing(&[4, 0]), t.root());
     // A single vertex descends to its leaf.
     assert_eq!(t.deepest_containing(&[5]), t.leaf_of(5));
@@ -41,7 +41,7 @@ fn class_of_and_sibling_isomorphism() {
     let t = tree_of(&g);
     let (parent, start, end) = t.class_of(t.leaf_of(4)).expect("not the root");
     assert_eq!(end - start, 3); // the three triangle singletons
-    let kids = &t.node(parent).children[start..end];
+    let kids = &t.node(parent).children()[start..end];
     let iso = t.sibling_isomorphism(kids[0], kids[1]);
     assert_eq!(iso.len(), 1);
     // The mapped pair must both be triangle vertices.
@@ -77,11 +77,12 @@ fn render_mentions_every_vertex_set() {
 fn parents_precede_children_in_storage() {
     let g = named::rary_tree(3, 2);
     let t = tree_of(&g);
-    for (id, node) in t.nodes().iter().enumerate() {
-        if let Some(p) = node.parent {
+    for node in t.nodes() {
+        let id = node.id();
+        if let Some(p) = node.parent() {
             assert!(p < id, "parent stored after child");
-            assert!(t.node(p).children.contains(&id));
-            assert_eq!(t.node(p).depth + 1, node.depth);
+            assert!(t.node(p).children().contains(&id));
+            assert_eq!(t.node(p).depth() + 1, node.depth());
         }
     }
 }
@@ -91,9 +92,13 @@ fn sibling_classes_partition_children() {
     let g = named::rary_tree(2, 3);
     let t = tree_of(&g);
     for node in t.nodes() {
-        let covered: usize = node.sibling_classes.iter().map(|&(s, e)| e - s).sum();
-        assert_eq!(covered, node.children.len());
-        for w in node.sibling_classes.windows(2) {
+        let covered: usize = node
+            .sibling_classes()
+            .iter()
+            .map(|&(s, e)| (e - s) as usize)
+            .sum();
+        assert_eq!(covered, node.children().len());
+        for w in node.sibling_classes().windows(2) {
             assert_eq!(w[0].1, w[1].0, "classes must be contiguous");
         }
     }

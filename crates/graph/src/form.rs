@@ -87,6 +87,62 @@ impl CanonForm {
     pub fn cmp_lex(&self, other: &CanonForm) -> Ordering {
         self.cmp(other)
     }
+
+    /// A borrowed view of this form — the exchange type for storage that
+    /// keeps many forms in shared pools (the AutoTree in `dvicl-core`).
+    pub fn view(&self) -> FormRef<'_> {
+        FormRef {
+            colors: &self.colors,
+            edges: &self.edges,
+        }
+    }
+}
+
+/// A borrowed certificate: [`CanonForm`] with the two payload vectors
+/// replaced by slices.
+///
+/// Pooled form storage (one `(start, len)` range per node into shared
+/// arrays) hands out `FormRef`s instead of `&CanonForm`; the derived
+/// `Ord` is the same lexicographic (colors, then edges) total order as
+/// `CanonForm`'s, since a `Vec` and a slice compare identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FormRef<'a> {
+    /// Sorted `(color, multiplicity)` runs of the vertex color multiset.
+    pub colors: &'a [(V, V)],
+    /// Sorted relabeled edges `(γ(u), γ(v))` with first < second.
+    pub edges: &'a [(V, V)],
+}
+
+impl FormRef<'_> {
+    /// Materializes an owned [`CanonForm`].
+    pub fn to_form(&self) -> CanonForm {
+        CanonForm {
+            colors: self.colors.to_vec(),
+            edges: self.edges.to_vec(),
+        }
+    }
+
+    /// Total number of vertices described by the form.
+    pub fn n(&self) -> usize {
+        self.colors.iter().map(|&(_, c)| c as usize).sum()
+    }
+
+    /// Number of edges in the form.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+impl PartialEq<CanonForm> for FormRef<'_> {
+    fn eq(&self, other: &CanonForm) -> bool {
+        *self == other.view()
+    }
+}
+
+impl PartialEq<FormRef<'_>> for CanonForm {
+    fn eq(&self, other: &FormRef<'_>) -> bool {
+        self.view() == *other
+    }
 }
 
 #[cfg(test)]

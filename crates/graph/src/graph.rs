@@ -28,6 +28,45 @@ impl Graph {
         b.build()
     }
 
+    /// Adopts already-clean CSR arrays: `offsets` has `n + 1` entries,
+    /// every row of `adj` is strictly ascending (sorted, deduplicated, no
+    /// self-loop) and symmetric (`v ∈ N(u)` iff `u ∈ N(v)`). This is the
+    /// zero-rebuild path used by the arena-backed subgraph store, which
+    /// maintains those invariants by construction; they are re-checked
+    /// here in debug builds.
+    pub fn from_csr(offsets: Vec<usize>, adj: Vec<V>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have n + 1 entries");
+        assert_eq!(*offsets.last().unwrap_or(&0), adj.len(), "offsets must cover adj");
+        let g = Graph { offsets, adj };
+        #[cfg(debug_assertions)]
+        {
+            let n = g.n();
+            assert!(g.offsets.windows(2).all(|w| w[0] <= w[1]), "offsets not monotone");
+            for v in 0..n as V {
+                let row = g.neighbors(v);
+                assert!(
+                    row.windows(2).all(|w| w[0] < w[1]),
+                    "row {v} not strictly ascending"
+                );
+                assert!(
+                    row.iter().all(|&w| (w as usize) < n && w != v),
+                    "row {v} has an out-of-range vertex or self-loop"
+                );
+                assert!(row.iter().all(|&w| g.has_edge(w, v)), "row {v} not symmetric");
+            }
+        }
+        g
+    }
+
+    /// The raw CSR arrays `(offsets, adj)`: row `v` is
+    /// `adj[offsets[v]..offsets[v + 1]]`. Lets flat-storage consumers
+    /// (the subgraph arena, benchmark meters) copy adjacency wholesale
+    /// instead of row by row.
+    #[inline]
+    pub fn csr(&self) -> (&[usize], &[V]) {
+        (&self.offsets, &self.adj)
+    }
+
     /// The empty graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
         Graph {
@@ -103,14 +142,26 @@ impl Graph {
     ///
     /// Panics if `verts` contains duplicates or out-of-range vertices.
     pub fn induced(&self, verts: &[V]) -> Graph {
+        let mut local = Vec::new();
+        let mut b = GraphBuilder::new(verts.len());
+        self.induced_reusing(verts, &mut local, &mut b)
+    }
+
+    /// Buffer-reusing variant of [`Graph::induced`] for callers that
+    /// extract many subgraphs: `local` is the local-id scratch map
+    /// (resized and reset here, so it may be dirty) and `b` supplies the
+    /// edge buffer, whose capacity survives across calls via
+    /// [`GraphBuilder::build_reusing`].
+    pub fn induced_reusing(&self, verts: &[V], local: &mut Vec<V>, b: &mut GraphBuilder) -> Graph {
         let n = self.n();
-        let mut local = vec![V::MAX; n];
+        local.clear();
+        local.resize(n, V::MAX);
         for (i, &v) in verts.iter().enumerate() {
             assert!((v as usize) < n, "vertex out of range");
             assert!(local[v as usize] == V::MAX, "duplicate vertex in induced set");
             local[v as usize] = i as V;
         }
-        let mut b = GraphBuilder::new(verts.len());
+        b.reset(verts.len());
         for (i, &v) in verts.iter().enumerate() {
             for &w in self.neighbors(v) {
                 let lw = local[w as usize];
@@ -119,14 +170,19 @@ impl Graph {
                 }
             }
         }
-        b.build()
+        b.build_reusing()
     }
 
     /// Connected components; each component's vertex list is ascending, and
     /// components are ordered by their minimum vertex.
+    ///
+    /// Diagnostic API (`is_connected`, tests) — the build hot path carves
+    /// components flat via `core::SubArena` instead.
+    // dvicl-lint: allow(nested-vec-adjacency) -- component vertex lists for cold callers, not per-vertex adjacency
     pub fn components(&self) -> Vec<Vec<V>> {
         let n = self.n();
         let mut comp = vec![usize::MAX; n];
+        // dvicl-lint: allow(nested-vec-adjacency) -- same cold-path result container as the return type
         let mut out: Vec<Vec<V>> = Vec::new();
         let mut stack = Vec::new();
         for s in 0..n {
@@ -235,6 +291,14 @@ impl GraphBuilder {
 
     /// Finalizes into a CSR graph, deduplicating edges.
     pub fn build(mut self) -> Graph {
+        self.build_reusing()
+    }
+
+    /// Non-consuming [`GraphBuilder::build`]: the recorded edges are
+    /// drained into the graph but the builder (and its edge-buffer
+    /// capacity) stays usable after a [`GraphBuilder::reset`], so loops
+    /// that extract many subgraphs allocate the edge buffer once.
+    pub fn build_reusing(&mut self) -> Graph {
         self.edges.sort_unstable();
         self.edges.dedup();
         let mut offsets = vec![0usize; self.n + 1];
@@ -258,7 +322,15 @@ impl GraphBuilder {
         for v in 0..self.n {
             adj[offsets[v]..offsets[v + 1]].sort_unstable();
         }
+        self.edges.clear();
         Graph { offsets, adj }
+    }
+
+    /// Clears the builder for a new graph on `n` vertices, keeping the
+    /// edge buffer's capacity.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.edges.clear();
     }
 }
 
@@ -356,6 +428,46 @@ mod tests {
         for &(u, v) in &edges {
             assert!(u < v);
         }
+    }
+
+    #[test]
+    fn from_csr_matches_from_edges() {
+        let g = fig1_graph();
+        let (offsets, adj) = g.csr();
+        let g2 = Graph::from_csr(offsets.to_vec(), adj.to_vec());
+        assert_eq!(g, g2);
+        assert_eq!(Graph::from_csr(vec![0], Vec::new()), Graph::empty(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must cover adj")]
+    fn from_csr_rejects_short_offsets() {
+        let _ = Graph::from_csr(vec![0, 1], Vec::new());
+    }
+
+    #[test]
+    fn induced_reusing_matches_induced_across_calls() {
+        let g = fig1_graph();
+        let mut local = Vec::new();
+        let mut b = GraphBuilder::new(0);
+        for verts in [&[4u32, 5, 6][..], &[0, 1, 2, 3][..], &[7, 0, 4][..]] {
+            assert_eq!(g.induced_reusing(verts, &mut local, &mut b), g.induced(verts));
+        }
+    }
+
+    #[test]
+    fn builder_reset_reuses_cleanly() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g1 = b.build_reusing();
+        assert_eq!(g1.m(), 1);
+        b.reset(2);
+        b.add_edge(0, 1);
+        let g2 = b.build_reusing();
+        assert_eq!((g2.n(), g2.m()), (2, 1));
+        // No stale edges leak across a reset.
+        b.reset(4);
+        assert_eq!(b.build_reusing().m(), 0);
     }
 
     #[test]

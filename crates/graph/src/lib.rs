@@ -32,7 +32,7 @@ pub mod named;
 mod perm;
 
 pub use coloring::Coloring;
-pub use form::CanonForm;
+pub use form::{CanonForm, FormRef};
 pub use graph::{Graph, GraphBuilder};
 pub use perm::Perm;
 

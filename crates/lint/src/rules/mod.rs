@@ -11,6 +11,7 @@ use crate::lexer::{Tok, TokKind};
 pub mod budget_threading;
 pub mod error_taxonomy;
 pub mod narrowing_cast;
+pub mod nested_vec_adjacency;
 pub mod obs_span_naming;
 pub mod offline_guard;
 pub mod panic_freedom;
@@ -163,6 +164,13 @@ pub fn catalog() -> &'static [RuleMeta] {
             summary: "narrowing `as u8/u16/u32` casts need a pragma or allowlist entry proving they cannot truncate",
             applies: applies_everywhere,
             check: narrowing_cast::check,
+        },
+        RuleMeta {
+            id: nested_vec_adjacency::ID,
+            severity: Severity::Deny,
+            summary: "no `Vec<Vec<_>>` adjacency on the build/refine hot path — CSR/arena storage only",
+            applies: applies_everywhere, // path-scoped inside the rule
+            check: nested_vec_adjacency::check,
         },
         RuleMeta {
             id: offline_guard::ID,

@@ -25,13 +25,13 @@ pub enum Counter {
     PrunedOrbit,
     /// Non-trivial automorphism generators recorded (`canon`).
     AutFound,
-    /// Component divisions applied (`core::Sub::divide_components`).
+    /// Component divisions applied (`core::SubArena::divide_components`).
     DivideComponents,
-    /// `DivideI` divisions applied (`core::Sub::divide_i`).
+    /// `DivideI` divisions applied (`core::SubArena::divide_i`).
     DivideIApplied,
-    /// `DivideS` divisions applied (`core::Sub::divide_s`).
+    /// `DivideS` divisions applied (`core::SubArena::divide_s`).
     DivideSApplied,
-    /// Edges deleted by applied `DivideS` divisions (`core::Sub`).
+    /// Edges deleted by applied `DivideS` divisions (`core::SubArena`).
     DivideSEdgesDeleted,
     /// Structural-equivalence twin classes collapsed
     /// (`core::simplify::dvicl_simplified`).
@@ -41,6 +41,13 @@ pub enum Counter {
     CacheClHits,
     /// `CombineCL` leaf labelings computed fresh (`core::build`).
     CacheClMisses,
+    /// High-water mark of subgraph-arena pool bytes, summed over builds
+    /// (`core::SubArena`): each DviCL run adds its own peak, so a
+    /// snapshot diff around one build reads as that build's peak.
+    SubBytesPeak,
+    /// Subgraph-arena segment releases that handed buffer space back for
+    /// reuse by a later child (`core::SubArena`).
+    ArenaReuses,
     /// SSM matcher states expanded (`core::ssm`).
     SsmStates,
     /// Budget exhaustion / cancellation trips (`govern::Budget`).
@@ -48,7 +55,7 @@ pub enum Counter {
 }
 
 /// How many counters exist (the length of [`Counter::ALL`]).
-pub const NUM_COUNTERS: usize = 15;
+pub const NUM_COUNTERS: usize = 17;
 
 impl Counter {
     /// Every counter, in reporting order.
@@ -66,6 +73,8 @@ impl Counter {
         Counter::TwinClassesCollapsed,
         Counter::CacheClHits,
         Counter::CacheClMisses,
+        Counter::SubBytesPeak,
+        Counter::ArenaReuses,
         Counter::SsmStates,
         Counter::BudgetTrips,
     ];
@@ -91,6 +100,8 @@ impl Counter {
             Counter::TwinClassesCollapsed => "twin_classes_collapsed",
             Counter::CacheClHits => "cache_cl_hits",
             Counter::CacheClMisses => "cache_cl_misses",
+            Counter::SubBytesPeak => "sub_bytes_peak",
+            Counter::ArenaReuses => "arena_reuses",
             Counter::SsmStates => "ssm_states",
             Counter::BudgetTrips => "budget_trips",
         }

@@ -39,7 +39,84 @@ pub struct RefineResult {
     pub new_singletons: Vec<V>,
 }
 
+/// A reusable refinement engine: one [`Partition`] worth of buffers
+/// (labels, positions, cell tables, worklist, scratch counters) recycled
+/// across calls.
+///
+/// The individualization-refinement search in `dvicl-canon` refines once
+/// per search-tree node; with the one-shot free functions each of those
+/// refinements paid seven `Vec` allocations for a fresh [`Partition`].
+/// A `Refiner` re-seeds the same buffers instead
+/// ([`Partition::reset_from_coloring`]), so a DFS over thousands of nodes
+/// performs no per-node partition allocation. Results are bit-identical
+/// to the free functions — reset state equals fresh state.
+#[derive(Default)]
+pub struct Refiner {
+    p: Partition,
+}
+
+impl Refiner {
+    /// A refiner with empty (unallocated) buffers.
+    pub fn new() -> Self {
+        Refiner::default()
+    }
+
+    fn result(&self) -> RefineResult {
+        RefineResult {
+            trace: 0,
+            new_singletons: self.p.new_singletons().to_vec(),
+            coloring: self.p.to_coloring(),
+        }
+    }
+
+    /// Reusable-buffer [`refine`].
+    pub fn refine(&mut self, g: &Graph, pi: &Coloring) -> RefineResult {
+        let _span = dvicl_obs::span("refine.refine");
+        self.p.reset_from_coloring(g.n(), pi);
+        let trace = self.p.refine(g);
+        RefineResult { trace, ..self.result() }
+    }
+
+    /// Reusable-buffer [`refine_individualized`].
+    pub fn refine_individualized(&mut self, g: &Graph, pi: &Coloring, v: V) -> RefineResult {
+        let _span = dvicl_obs::span("refine.individualize");
+        self.p.reset_from_coloring(g.n(), pi);
+        let trace = self.p.individualize_and_refine(g, v);
+        RefineResult { trace, ..self.result() }
+    }
+
+    /// Reusable-buffer [`try_refine`].
+    pub fn try_refine(
+        &mut self,
+        g: &Graph,
+        pi: &Coloring,
+        budget: &Budget,
+    ) -> Result<RefineResult, DviclError> {
+        let _span = dvicl_obs::span("refine.refine");
+        self.p.reset_from_coloring(g.n(), pi);
+        let trace = self.p.try_refine(g, budget)?;
+        Ok(RefineResult { trace, ..self.result() })
+    }
+
+    /// Reusable-buffer [`try_refine_individualized`].
+    pub fn try_refine_individualized(
+        &mut self,
+        g: &Graph,
+        pi: &Coloring,
+        v: V,
+        budget: &Budget,
+    ) -> Result<RefineResult, DviclError> {
+        let _span = dvicl_obs::span("refine.individualize");
+        self.p.reset_from_coloring(g.n(), pi);
+        let trace = self.p.try_individualize_and_refine(g, v, budget)?;
+        Ok(RefineResult { trace, ..self.result() })
+    }
+}
+
 /// Refines `(g, pi)` to the coarsest equitable coloring finer than `pi`.
+///
+/// One-shot convenience over [`Refiner`] — loops that refine repeatedly
+/// (one refinement per search-tree node) should hold a `Refiner` instead.
 ///
 /// ```
 /// use dvicl_graph::{named, Coloring};
@@ -51,14 +128,7 @@ pub struct RefineResult {
 /// assert!(r.coloring.is_equitable(&g));
 /// ```
 pub fn refine(g: &Graph, pi: &Coloring) -> RefineResult {
-    let _span = dvicl_obs::span("refine.refine");
-    let mut p = Partition::from_coloring(g.n(), pi);
-    let trace = p.refine(g);
-    RefineResult {
-        trace,
-        new_singletons: p.new_singletons().to_vec(),
-        coloring: p.to_coloring(),
-    }
+    Refiner::new().refine(g, pi)
 }
 
 /// Individualizes `v` in `pi` (which is typically already equitable) and
@@ -68,28 +138,14 @@ pub fn refine(g: &Graph, pi: &Coloring) -> RefineResult {
 /// of `v`'s cell (an invariant of the branching choice), so traces of
 /// sibling nodes that individualize non-equivalent vertices differ.
 pub fn refine_individualized(g: &Graph, pi: &Coloring, v: V) -> RefineResult {
-    let _span = dvicl_obs::span("refine.individualize");
-    let mut p = Partition::from_coloring(g.n(), pi);
-    let trace = p.individualize_and_refine(g, v);
-    RefineResult {
-        trace,
-        new_singletons: p.new_singletons().to_vec(),
-        coloring: p.to_coloring(),
-    }
+    Refiner::new().refine_individualized(g, pi, v)
 }
 
 /// Budgeted [`refine`]: one work unit is spent per splitter processed,
 /// so a wall-clock deadline or cancellation interrupts the refinement
 /// loop itself rather than waiting for it to finish.
 pub fn try_refine(g: &Graph, pi: &Coloring, budget: &Budget) -> Result<RefineResult, DviclError> {
-    let _span = dvicl_obs::span("refine.refine");
-    let mut p = Partition::from_coloring(g.n(), pi);
-    let trace = p.try_refine(g, budget)?;
-    Ok(RefineResult {
-        trace,
-        new_singletons: p.new_singletons().to_vec(),
-        coloring: p.to_coloring(),
-    })
+    Refiner::new().try_refine(g, pi, budget)
 }
 
 /// Budgeted [`refine_individualized`].
@@ -99,14 +155,7 @@ pub fn try_refine_individualized(
     v: V,
     budget: &Budget,
 ) -> Result<RefineResult, DviclError> {
-    let _span = dvicl_obs::span("refine.individualize");
-    let mut p = Partition::from_coloring(g.n(), pi);
-    let trace = p.try_individualize_and_refine(g, v, budget)?;
-    Ok(RefineResult {
-        trace,
-        new_singletons: p.new_singletons().to_vec(),
-        coloring: p.to_coloring(),
-    })
+    Refiner::new().try_refine_individualized(g, pi, v, budget)
 }
 
 #[cfg(test)]

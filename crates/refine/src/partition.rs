@@ -29,6 +29,12 @@ pub struct Partition {
     new_singletons: Vec<V>,
 }
 
+impl Default for Partition {
+    fn default() -> Self {
+        Partition::new()
+    }
+}
+
 #[inline]
 fn mix(h: u64, x: u64) -> u64 {
     // A simple strong mixer (splitmix64 finalizer over h ^ x).
@@ -39,43 +45,72 @@ fn mix(h: u64, x: u64) -> u64 {
 }
 
 impl Partition {
+    /// An empty partition over zero vertices: the starting state for
+    /// [`Partition::reset_from_coloring`]-based reuse.
+    // dvicl-lint: allow(budget-threading) -- allocation-free constructor; the `Vec::new` calls are not recursion
+    pub fn new() -> Self {
+        Partition {
+            lab: Vec::new(),
+            pos: Vec::new(),
+            cell_start: Vec::new(),
+            cell_len: Vec::new(),
+            cnt: Vec::new(),
+            queue: VecDeque::new(),
+            in_queue: Vec::new(),
+            in_affected: Vec::new(),
+            new_singletons: Vec::new(),
+        }
+    }
+
     /// Builds the internal representation from a [`Coloring`].
-    // dvicl-lint: allow(budget-threading) -- one-shot O(n) construction; refinement itself is metered in run()
     pub fn from_coloring(n: usize, pi: &Coloring) -> Self {
+        let mut p = Partition::new();
+        p.reset_from_coloring(n, pi);
+        p
+    }
+
+    /// Re-initializes this partition from a [`Coloring`], reusing every
+    /// internal buffer. State after this call is identical to a fresh
+    /// [`Partition::from_coloring`] — only the allocations differ, which
+    /// is what lets the IR search refine thousands of nodes without a
+    /// single per-node `Vec` allocation.
+    // dvicl-lint: allow(budget-threading) -- one-shot O(n) construction; refinement itself is metered in run()
+    pub fn reset_from_coloring(&mut self, n: usize, pi: &Coloring) {
         assert_eq!(n, pi.n());
-        let mut lab = Vec::with_capacity(n);
-        let mut cell_len = vec![0u32; n];
+        self.lab.clear();
+        self.lab.reserve(n);
+        self.cell_len.clear();
+        self.cell_len.resize(n, 0);
         for cell in pi.cells() {
             // dvicl-lint: allow(narrowing-cast) -- a cell holds at most n <= V::MAX vertices
-            cell_len[lab.len()] = cell.len() as u32;
-            lab.extend_from_slice(cell);
+            self.cell_len[self.lab.len()] = cell.len() as u32;
+            self.lab.extend_from_slice(cell);
         }
-        let mut pos = vec![0u32; n];
-        for (i, &v) in lab.iter().enumerate() {
+        self.pos.clear();
+        self.pos.resize(n, 0);
+        for (i, &v) in self.lab.iter().enumerate() {
             // dvicl-lint: allow(narrowing-cast) -- i indexes lab, which has n <= V::MAX entries
-            pos[v as usize] = i as u32;
+            self.pos[v as usize] = i as u32;
         }
-        let mut cell_start = vec![0u32; n];
+        self.cell_start.clear();
+        self.cell_start.resize(n, 0);
         let mut s = 0usize;
         while s < n {
-            let len = cell_len[s] as usize;
+            let len = self.cell_len[s] as usize;
             for i in s..s + len {
                 // dvicl-lint: allow(narrowing-cast) -- s < n <= V::MAX
-                cell_start[lab[i] as usize] = s as u32;
+                self.cell_start[self.lab[i] as usize] = s as u32;
             }
             s += len;
         }
-        Partition {
-            lab,
-            pos,
-            cell_start,
-            cell_len,
-            cnt: vec![0; n],
-            queue: VecDeque::new(),
-            in_queue: vec![false; n],
-            in_affected: vec![false; n],
-            new_singletons: Vec::new(),
-        }
+        self.cnt.clear();
+        self.cnt.resize(n, 0);
+        self.queue.clear();
+        self.in_queue.clear();
+        self.in_queue.resize(n, false);
+        self.in_affected.clear();
+        self.in_affected.resize(n, false);
+        self.new_singletons.clear();
     }
 
     /// Number of vertices.
