@@ -12,7 +12,18 @@ use dvicl_core::{try_build_autotree, AutoTree, DviclOptions};
 use dvicl_govern::Budget;
 use dvicl_graph::{Coloring, Graph};
 use dvicl_obs::{self as obs, JsonArr, JsonObj, Snapshot, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Whether `--paranoid` / `DVICL_PARANOID` is in force: every AutoTree a
+/// table binary builds is re-checked against its witness before its row
+/// is recorded (DESIGN.md §11).
+static PARANOID: AtomicBool = AtomicBool::new(false);
+
+/// True when witness checking was requested for this benchmark process.
+pub fn paranoid() -> bool {
+    PARANOID.load(Ordering::Relaxed)
+}
 
 /// The three baseline engines of the paper's evaluation and their
 /// `DviCL+X` counterparts. The names mirror the paper's columns; see
@@ -44,10 +55,14 @@ pub fn init_obs() {
     let args: Vec<String> = std::env::args().collect();
     let mut stats = false;
     let mut trace: Option<String> = None;
+    if std::env::var("DVICL_PARANOID").map(|v| !v.is_empty() && v != "0") == Ok(true) {
+        PARANOID.store(true, Ordering::Relaxed);
+    }
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--stats" => stats = true,
+            "--paranoid" => PARANOID.store(true, Ordering::Relaxed),
             "--trace-json" => {
                 let Some(p) = args.get(i + 1) else {
                     eprintln!("--trace-json requires a path");
@@ -57,7 +72,9 @@ pub fn init_obs() {
                 i += 1;
             }
             other => {
-                eprintln!("unknown flag {other} (expected --stats or --trace-json <path>)");
+                eprintln!(
+                    "unknown flag {other} (expected --stats, --paranoid or --trace-json <path>)"
+                );
                 std::process::exit(2);
             }
         }
@@ -146,7 +163,29 @@ pub fn run_baseline(g: &Graph, config: &Config) -> Run {
 /// instead of an unbounded build.
 pub fn build_tree(g: &Graph, opts: &DviclOptions) -> (Run, Option<AutoTree>) {
     let limits = Budget::with_deadline(budget());
-    measure(|| try_build_autotree(g, &Coloring::unit(g.n()), opts, &limits).ok())
+    // Open-coded `measure` so that under `--paranoid` the witness checks
+    // land inside the wall clock (overhead is the number being measured)
+    // but *after* the peak-heap sample: verification scratch must not
+    // shift the memory columns the CI ceilings watch.
+    crate::alloc::reset_peak();
+    let before_bytes = crate::alloc::live_bytes();
+    let before = obs::snapshot();
+    let t0 = Instant::now();
+    let tree = try_build_autotree(g, &Coloring::unit(g.n()), opts, &limits).ok();
+    let peak_bytes = crate::alloc::peak_bytes().saturating_sub(before_bytes);
+    if let (Some(t), true) = (&tree, paranoid()) {
+        if let Err(e) = dvicl_core::verify::verify_tree(g, t) {
+            eprintln!("error: {e}");
+            std::process::exit(i32::from(e.exit_code()));
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let run = Run {
+        secs: tree.is_some().then_some(secs),
+        peak_bytes,
+        counters: obs::snapshot().diff(&before),
+    };
+    (run, tree)
 }
 
 /// Runs `DviCL+X` (AutoTree construction with `X` as the leaf labeler),

@@ -340,6 +340,7 @@ impl<'a> Search<'a> {
         self.stats.nodes += 1;
         obs::bump(Counter::SearchNodes);
         self.stats.max_depth = self.stats.max_depth.max(depth);
+        dvicl_govern::fault::checkpoint("canon.dfs")?;
         self.budget.spend(1)?;
         let node_id = self.record_node(pi, depth, parent_edge);
         let d = depth as usize;

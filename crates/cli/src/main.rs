@@ -27,6 +27,13 @@
 //! phase-time report to stderr after the run; `--trace-json <path>`
 //! streams newline-delimited JSON events plus a final summary object to
 //! `path`. Either flag also enables span timing.
+//!
+//! Robustness (DESIGN.md §11): `--paranoid` re-checks every result
+//! against its witness (canonical form against the root labeling, each
+//! generator against its subgraph, each iso answer against the explicit
+//! mapping) and exits 4 on a witness failure. `--fault-plan <SPEC>` (or
+//! the `DVICL_FAULT_PLAN` environment variable) installs a deterministic
+//! fault-injection plan, e.g. `trip@core.build_node:3`.
 
 use dvicl_core::ssm::{try_count_images, try_enumerate_images, SsmIndex};
 use dvicl_core::{aut, build_autotree_resilient, iso, ksym, AutoTree, DviclOptions};
@@ -34,6 +41,16 @@ use dvicl_govern::{parse_duration, Budget, DviclError};
 use dvicl_graph::{graph6, io as gio, Coloring, Graph, V};
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Whether `--paranoid` is in force: every result is re-checked against
+/// its witness before being reported. A process-wide flag because it
+/// changes behavior of every subcommand uniformly.
+static PARANOID: AtomicBool = AtomicBool::new(false);
+
+fn paranoid() -> bool {
+    PARANOID.load(Ordering::Relaxed)
+}
 
 /// Writes a line to stdout, exiting quietly with status 0 when the
 /// consumer closed the pipe early — `dvicl aut G | head` is a normal
@@ -69,6 +86,12 @@ fn emit_edge_list(g: &Graph) -> Result<(), DviclError> {
 }
 
 fn main() -> ExitCode {
+    // Environment-installed fault plan first; an explicit --fault-plan
+    // flag below overrides it.
+    if let Err(e) = dvicl_govern::fault::install_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::from(e.exit_code());
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (args, budget, obs_cfg) = match global_flags(args) {
         Ok(split) => split,
@@ -132,7 +155,7 @@ impl ObsConfig {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  dvicl canon    <GRAPH>\n  dvicl aut      <GRAPH>\n  dvicl iso      <GRAPH> <GRAPH>\n  dvicl tree     <GRAPH> [--render]\n  dvicl ssm      <GRAPH> <v,v,...> [--limit N]\n  dvicl ksym     <GRAPH> <k>\n  dvicl quotient <GRAPH>\n  dvicl dataset  <NAME>\n  dvicl convert  <GRAPH>\n\nGRAPH: edge-list path, '-' for stdin (at most once), or g6:<graph6-literal>\n\nglobal flags (any subcommand):\n  --timeout <DUR>      wall-clock budget (100ms, 5s, 2m, ...)\n  --max-nodes <N>      work budget in search/build nodes\n  --stats              counter + phase-time report on stderr\n  --trace-json <PATH>  NDJSON events + summary to PATH\n\nexit codes: 0 ok, 2 bad input, 3 budget exceeded"
+    "usage:\n  dvicl canon    <GRAPH>\n  dvicl aut      <GRAPH>\n  dvicl iso      <GRAPH> <GRAPH>\n  dvicl tree     <GRAPH> [--render]\n  dvicl ssm      <GRAPH> <v,v,...> [--limit N]\n  dvicl ksym     <GRAPH> <k>\n  dvicl quotient <GRAPH>\n  dvicl dataset  <NAME>\n  dvicl convert  <GRAPH>\n\nGRAPH: edge-list path, '-' for stdin (at most once), or g6:<graph6-literal>\n\nglobal flags (any subcommand):\n  --timeout <DUR>      wall-clock budget (100ms, 5s, 2m, ...)\n  --max-nodes <N>      work budget in search/build nodes\n  --stats              counter + phase-time report on stderr\n  --trace-json <PATH>  NDJSON events + summary to PATH\n  --paranoid           re-check every result against its witness\n  --fault-plan <SPEC>  deterministic fault injection (see DESIGN.md §11)\n\nexit codes: 0 ok, 2 bad input, 3 budget exceeded, 4 witness check failed"
 }
 
 /// A CLI failure: either a usage mistake (print the help text, exit 2)
@@ -174,6 +197,13 @@ fn global_flags(args: Vec<String>) -> Result<(Vec<String>, Budget, ObsConfig), D
                 })?);
             }
             "--stats" => obs_cfg.stats = true,
+            "--paranoid" => PARANOID.store(true, Ordering::Relaxed),
+            "--fault-plan" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| DviclError::invalid("--fault-plan needs a plan spec"))?;
+                dvicl_govern::fault::install(dvicl_govern::FaultPlan::parse(&v)?);
+            }
             "--trace-json" => {
                 let v = it
                     .next()
@@ -275,6 +305,12 @@ fn build(g: &Graph, budget: &Budget) -> Result<AutoTree, DviclError> {
     if outcome.degraded {
         eprintln!("note: node budget exhausted; degraded to whole-graph labeling");
     }
+    if paranoid() {
+        // Degraded trees go through the same checks as full ones: the
+        // witness contract does not weaken under degradation.
+        dvicl_core::verify::verify_tree(g, &outcome.tree)?;
+        eprintln!("paranoid: tree witness checks passed");
+    }
     Ok(outcome.tree)
 }
 
@@ -312,8 +348,18 @@ fn automorphisms(ld: &mut Loader, spec: &str, budget: &Budget) -> Result<(), Cli
 
 fn isomorphic(ld: &mut Loader, a: &str, b: &str, budget: &Budget) -> Result<(), CliError> {
     let (ga, gb) = (ld.load(a)?, ld.load(b)?);
-    match iso::try_find_isomorphism(&ga, &gb, budget)? {
+    let outcome = iso::try_find_isomorphism_outcome(&ga, &gb, budget)?;
+    if outcome.degraded {
+        // Same marker contract as `build`: a degraded answer is still
+        // correct but the caller must be able to see it happened.
+        eprintln!("note: node budget exhausted; degraded to whole-graph labeling");
+    }
+    match outcome.mapping {
         Some(gamma) => {
+            if paranoid() {
+                dvicl_core::verify::verify_iso(&ga, &gb, &gamma)?;
+                eprintln!("paranoid: iso mapping witness checks passed");
+            }
             outln!("isomorphic: yes");
             outln!("mapping: {gamma}");
             Ok(())

@@ -200,6 +200,88 @@ fn malformed_input_exits_2() {
 }
 
 #[test]
+fn paranoid_verifies_results() {
+    // Witness checks pass on healthy runs and say so on stderr.
+    let (stdout, stderr, ok) = dvicl(&["canon", "--paranoid", "g6:IheA@GUAo"]);
+    assert!(ok, "paranoid canon failed: {stderr}");
+    assert!(stdout.contains("certificate (canonical graph6):"));
+    assert!(stderr.contains("paranoid: tree witness checks passed"), "got: {stderr}");
+
+    let (stdout, stderr, ok) = dvicl(&["iso", "--paranoid", "g6:IheA@GUAo", "g6:IheA@GUAo"]);
+    assert!(ok, "paranoid iso failed: {stderr}");
+    assert!(stdout.contains("isomorphic: yes"));
+    assert!(stderr.contains("paranoid: iso mapping witness checks passed"), "got: {stderr}");
+}
+
+#[test]
+fn paranoid_covers_degraded_results() {
+    // A degraded run must pass the same witness checks and carry both
+    // the degradation marker and the paranoid confirmation.
+    let out = Command::new(env!("CARGO_BIN_EXE_dvicl"))
+        .args(["canon", "--paranoid", "--max-nodes", "2", "g6:IheA@GUAo"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("degraded"), "got: {stderr}");
+    assert!(stderr.contains("paranoid: tree witness checks passed"), "got: {stderr}");
+}
+
+#[test]
+fn fault_plan_flag_trips_deterministically() {
+    // Tripping the work budget at the first build checkpoint degrades
+    // the run (marker on stderr, exit 0) — the resilient path treats an
+    // injected WorkUnits trip exactly like a real one.
+    let out = Command::new(env!("CARGO_BIN_EXE_dvicl"))
+        .args(["canon", "--paranoid", "--fault-plan", "trip@core.build_node:1", "g6:IheA@GUAo"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "got: {stderr}");
+    assert!(stderr.contains("degraded"), "got: {stderr}");
+    assert!(stderr.contains("paranoid: tree witness checks passed"), "got: {stderr}");
+
+    // Cancellation is not degradable: typed error, exit 3.
+    let out = Command::new(env!("CARGO_BIN_EXE_dvicl"))
+        .args(["canon", "--fault-plan", "cancel@core.build_node:1", "g6:IheA@GUAo"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cancelled"), "got: {stderr}");
+
+    // An injected parse fault surfaces as a parse error, exit 2.
+    let out = Command::new(env!("CARGO_BIN_EXE_dvicl"))
+        .args(["canon", "--fault-plan", "parse@graph.graph6:1", "g6:IheA@GUAo"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn fault_plan_env_var_is_honored() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dvicl"))
+        .args(["canon", "g6:IheA@GUAo"])
+        .env("DVICL_FAULT_PLAN", "cancel@govern.spend:1")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+
+    // A malformed plan spec is a usage-level input error.
+    let out = Command::new(env!("CARGO_BIN_EXE_dvicl"))
+        .args(["canon", "g6:C~"])
+        .env("DVICL_FAULT_PLAN", "explode@everything")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(env!("CARGO_BIN_EXE_dvicl"))
+        .args(["canon", "--fault-plan", "nope", "g6:C~"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn quotient_of_petersen_collapses() {
     let (stdout, _, ok) = dvicl(&["quotient", "g6:IheA@GUAo"]);
     assert!(ok);

@@ -33,8 +33,10 @@ use dvicl_graph::{Coloring, Graph, V};
 use dvicl_obs::{self as obs, Counter};
 
 /// Rollback point for [`SubArena::release`]: the three pool tops at the
-/// time of [`SubArena::mark`].
-#[derive(Clone, Copy, Debug)]
+/// time of [`SubArena::mark`]. Marks compare equal iff they denote the
+/// same pool state, which is how the fault-sweep tests assert stack
+/// discipline (`arena.mark() == pre_call_mark` after an early return).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ArenaMark {
     verts: usize,
     offs: usize,
@@ -66,6 +68,9 @@ pub struct SubArena {
     /// Segment releases that handed buffer space back for reuse
     /// (`arena_reuses`).
     reuses: u64,
+    /// Optional ceiling on pool bytes: [`SubArena::try_induced_child`]
+    /// fails (and rolls back) instead of carving past it.
+    ceiling_bytes: Option<usize>,
 }
 
 impl SubArena {
@@ -132,6 +137,41 @@ impl SubArena {
     /// High-water mark of pool bytes over the arena's lifetime.
     pub fn bytes_peak(&self) -> usize {
         self.bytes_peak
+    }
+
+    /// Sets (or clears) the allocation ceiling consulted by
+    /// [`SubArena::try_induced_child`].
+    pub fn set_ceiling_bytes(&mut self, ceiling: Option<usize>) {
+        self.ceiling_bytes = ceiling;
+    }
+
+    /// Current pool bytes (not the peak).
+    pub fn bytes_now(&self) -> usize {
+        (self.verts.len() + self.offs.len() + self.adj.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Ceiling-checked [`SubArena::induced_child`]: carves the child,
+    /// then fails with `BudgetExceeded { resource: Memory }` — rolling
+    /// the carve back, pools exactly as before — if the pools now
+    /// exceed the configured ceiling. Infallible when no ceiling is set.
+    pub fn try_induced_child(
+        &mut self,
+        parent: &Sub,
+        locals: &[u32],
+    ) -> Result<Sub, dvicl_govern::DviclError> {
+        let mark = self.mark();
+        let sub = self.induced_child(parent, locals);
+        if let Some(ceil) = self.ceiling_bytes {
+            let bytes = self.bytes_now();
+            if bytes > ceil {
+                self.release(mark);
+                return Err(dvicl_govern::DviclError::BudgetExceeded {
+                    resource: dvicl_govern::Resource::Memory,
+                    spent: bytes as u64,
+                });
+            }
+        }
+        Ok(sub)
     }
 
     /// How many [`SubArena::release`] calls actually freed a segment.
@@ -473,6 +513,32 @@ mod tests {
         assert_eq!(a.verts(&c2), &[4, 5, 6]);
         assert_eq!(c2.m(), 3);
         assert_eq!(a.adj.capacity(), cap_before);
+    }
+
+    #[test]
+    fn ceiling_rolls_back_and_marks_compare() {
+        let g = named::petersen();
+        let mut a = SubArena::new();
+        let root = a.whole(&g);
+        let mark = a.mark();
+        assert_eq!(mark, a.mark(), "marks of the same state are equal");
+        // A ceiling just under the current footprint: any carve must fail
+        // and leave the pools exactly where they were.
+        a.set_ceiling_bytes(Some(a.bytes_now()));
+        let err = a.try_induced_child(&root, &[0, 1, 2, 3, 4]).unwrap_err();
+        assert!(matches!(
+            err,
+            dvicl_govern::DviclError::BudgetExceeded {
+                resource: dvicl_govern::Resource::Memory,
+                ..
+            }
+        ));
+        assert_eq!(a.mark(), mark, "failed carve must roll back fully");
+        // With the ceiling lifted the same carve succeeds.
+        a.set_ceiling_bytes(None);
+        let c = a.try_induced_child(&root, &[0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(a.verts(&c), &[0, 1, 2, 3, 4]);
+        assert_ne!(a.mark(), mark);
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub struct DviclOptions {
     /// Apply `DivideS` (clique / complete-bipartite edge removal). Turning
     /// this off is the ablation benchmarked in `dvicl-bench`.
     pub use_divide_s: bool,
+    /// Optional ceiling on the subgraph arena's pool bytes. When a carve
+    /// would push the pools past it, the build fails with
+    /// `BudgetExceeded { resource: Memory }` (arena rolled back) — this
+    /// does **not** trigger the work-cap degradation path, because the
+    /// whole-graph fallback needs *more* arena than the divided build.
+    pub arena_ceiling_bytes: Option<usize>,
 }
 
 impl Default for DviclOptions {
@@ -31,6 +37,7 @@ impl Default for DviclOptions {
         DviclOptions {
             leaf_config: Config::bliss_like(),
             use_divide_s: true,
+            arena_ceiling_bytes: None,
         }
     }
 }
@@ -181,6 +188,7 @@ fn run_build(
         cl_cache: FxHashMap::default(),
         key_scratch: Vec::new(),
     };
+    b.arena.set_ceiling_bytes(opts.arena_ceiling_bytes);
     if g.n() == 0 {
         b.t.nodes.push(Node {
             verts: EMPTY,
@@ -272,6 +280,7 @@ struct Builder<'a> {
 impl<'a> Builder<'a> {
     /// Procedure `cl` of Algorithm 1.
     fn build(&mut self, sub: Sub, depth: u32, parent: u32) -> Result<NodeId, DviclError> {
+        dvicl_govern::fault::checkpoint("core.build_node")?;
         self.budget.spend(1)?;
         let id = self.t.nodes.len();
         let vrange = push_range(&mut self.t.verts, self.arena.verts(&sub));
@@ -327,16 +336,20 @@ impl<'a> Builder<'a> {
                 // on top of the parent's, consumed by the recursive call,
                 // and released before the next sibling is carved — peak
                 // residency is one root-to-leaf chain, and siblings reuse
-                // the same buffer space.
+                // the same buffer space. The release happens on the error
+                // path too, so an abort (budget trip, cancellation,
+                // injected fault) deep in the recursion unwinds the arena
+                // all the way back to the caller's mark.
                 let mut children: Vec<NodeId> = Vec::with_capacity(d.len());
                 // dvicl-lint: allow(narrowing-cast) -- id < node count <= n·depth, far below u32::MAX
                 let parent_id = id as u32;
                 for i in 0..d.len() {
                     let mark = self.arena.mark();
-                    let child = self.arena.induced_child(&sub, d.part(i));
-                    let cid = self.build(child, depth + 1, parent_id)?;
+                    let cid = dvicl_govern::fault::checkpoint("core.arena_carve")
+                        .and_then(|()| self.arena.try_induced_child(&sub, d.part(i)))
+                        .and_then(|child| self.build(child, depth + 1, parent_id));
                     self.arena.release(mark);
-                    children.push(cid);
+                    children.push(cid?);
                 }
                 self.combine_st(id, &sub, children);
             }
@@ -350,6 +363,7 @@ impl<'a> Builder<'a> {
     /// (Lemma 6.7).
     fn combine_cl(&mut self, id: NodeId, sub: &Sub) -> Result<(), DviclError> {
         let _span = obs::span("core.leaf_ir");
+        dvicl_govern::fault::checkpoint("core.leaf_ir")?;
         let (local_g, local_pi) = self.arena.to_local_graph(sub, &self.t.pi);
         let colors: Vec<V> = self
             .arena

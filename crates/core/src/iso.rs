@@ -41,6 +41,19 @@ pub fn find_isomorphism_colored(
     Some(gamma)
 }
 
+/// The result of a budgeted isomorphism extraction: the mapping (if the
+/// graphs are isomorphic) plus whether the answer came from degraded
+/// (whole-graph fallback) builds — callers that surface degradation to
+/// users (the CLI's stderr marker) need the flag, not just the mapping.
+pub struct IsoOutcome {
+    /// An isomorphism `γ` with `g1^γ = g2`, or `None` if the graphs are
+    /// not isomorphic.
+    pub mapping: Option<Perm>,
+    /// True when a work-cap exhaustion forced whole-graph IR labeling
+    /// on both sides. The answer is still exact.
+    pub degraded: bool,
+}
+
 /// Budgeted [`find_isomorphism`] with graceful degradation (see
 /// [`crate::try_are_isomorphic`]): a work-cap exhaustion degrades both
 /// sides to whole-graph IR labeling instead of failing, so the mapping —
@@ -50,7 +63,16 @@ pub fn try_find_isomorphism(
     g2: &Graph,
     budget: &Budget,
 ) -> Result<Option<Perm>, DviclError> {
-    try_find_isomorphism_colored(
+    Ok(try_find_isomorphism_outcome(g1, g2, budget)?.mapping)
+}
+
+/// [`try_find_isomorphism`] with the degradation flag exposed.
+pub fn try_find_isomorphism_outcome(
+    g1: &Graph,
+    g2: &Graph,
+    budget: &Budget,
+) -> Result<IsoOutcome, DviclError> {
+    try_find_isomorphism_colored_outcome(
         g1,
         &Coloring::unit(g1.n()),
         g2,
@@ -67,8 +89,22 @@ pub fn try_find_isomorphism_colored(
     pi2: &Coloring,
     budget: &Budget,
 ) -> Result<Option<Perm>, DviclError> {
+    Ok(try_find_isomorphism_colored_outcome(g1, pi1, g2, pi2, budget)?.mapping)
+}
+
+/// [`try_find_isomorphism_colored`] with the degradation flag exposed.
+pub fn try_find_isomorphism_colored_outcome(
+    g1: &Graph,
+    pi1: &Coloring,
+    g2: &Graph,
+    pi2: &Coloring,
+    budget: &Budget,
+) -> Result<IsoOutcome, DviclError> {
     if g1.n() != g2.n() || g1.m() != g2.m() {
-        return Ok(None);
+        return Ok(IsoOutcome {
+            mapping: None,
+            degraded: false,
+        });
     }
     let opts = DviclOptions::default();
     let mut t1 = build_autotree_resilient(g1, pi1, &opts, budget)?;
@@ -89,15 +125,22 @@ pub fn try_find_isomorphism_colored(
             };
         }
     }
+    let degraded = t1.degraded;
     if t1.tree.canonical_form() != t2.tree.canonical_form() {
-        return Ok(None);
+        return Ok(IsoOutcome {
+            mapping: None,
+            degraded,
+        });
     }
     let gamma = t1
         .tree
         .canonical_labeling()
         .then(&t2.tree.canonical_labeling().inverse());
     debug_assert_eq!(g1.permuted(&gamma), *g2, "composed labeling must realize the isomorphism");
-    Ok(Some(gamma))
+    Ok(IsoOutcome {
+        mapping: Some(gamma),
+        degraded,
+    })
 }
 
 #[cfg(test)]
@@ -169,6 +212,21 @@ mod tests {
             try_find_isomorphism(&g, &ladder, &Budget::with_max_work(2)).unwrap(),
             None
         );
+    }
+
+    #[test]
+    fn outcome_exposes_the_degradation_flag() {
+        let g = named::petersen();
+        let h = g.permuted(&Perm::from_cycles(10, &[&[0, 7]]).unwrap());
+        let out = try_find_isomorphism_outcome(&g, &h, &Budget::with_max_work(2)).unwrap();
+        assert!(out.degraded);
+        assert!(out.mapping.is_some());
+        let out = try_find_isomorphism_outcome(&g, &h, &Budget::unlimited()).unwrap();
+        assert!(!out.degraded);
+        // A size mismatch is answered without building anything.
+        let out = try_find_isomorphism_outcome(&g, &named::cycle(5), &Budget::unlimited()).unwrap();
+        assert!(!out.degraded);
+        assert!(out.mapping.is_none());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`simplify`] — the structural-equivalence optimization of §6.1.
 //! * [`iso`] — explicit isomorphism-mapping extraction between graphs.
 //! * [`ksym`] — the k-symmetry anonymization application.
+//! * [`verify`] — witness checking: near-linear runtime proofs that the
+//!   labelings, generators and iso mappings above actually hold on the
+//!   input graph (the `--paranoid` machinery, DESIGN.md §11).
 //! * convenience wrappers: [`canonical_form`], [`are_isomorphic`].
 
 #![warn(missing_docs)]
@@ -32,6 +35,7 @@ pub mod sm;
 pub mod ssm;
 mod sub;
 mod tree;
+pub mod verify;
 
 pub use build::{
     build_autotree, build_autotree_resilient, build_autotree_whole_leaf, try_build_autotree,

@@ -229,6 +229,7 @@ fn analyze(
     builder: &mut GraphBuilder,
 ) -> Result<(Vec<u8>, BigUint), DviclError> {
     dvicl_obs::bump(dvicl_obs::Counter::SsmStates);
+    dvicl_govern::fault::checkpoint("core.ssm")?;
     gov.spend(1)?;
     let n = tree.node(node);
     match n.kind() {
@@ -475,6 +476,7 @@ fn enum_at(
     builder: &mut GraphBuilder,
 ) -> Result<Vec<Vec<V>>, DviclError> {
     dvicl_obs::bump(dvicl_obs::Counter::SsmStates);
+    dvicl_govern::fault::checkpoint("core.ssm")?;
     gov.spend(1)?;
     if *slots == 0 {
         return Ok(Vec::new());

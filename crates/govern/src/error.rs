@@ -88,6 +88,8 @@ pub enum Resource {
     WorkUnits,
     /// The wall-clock deadline passed.
     WallClock,
+    /// A memory ceiling (subgraph-arena pool bytes) was reached.
+    Memory,
 }
 
 impl fmt::Display for Resource {
@@ -95,6 +97,7 @@ impl fmt::Display for Resource {
         match self {
             Resource::WorkUnits => write!(f, "work units"),
             Resource::WallClock => write!(f, "wall clock"),
+            Resource::Memory => write!(f, "memory"),
         }
     }
 }
@@ -118,6 +121,17 @@ pub enum DviclError {
     /// The request itself was malformed (bad flag value, out-of-range
     /// vertex, k = 0, ...).
     InvalidInput(String),
+    /// A paranoid witness check rejected an output: the claimed
+    /// labeling, generator, or iso mapping did not actually hold on the
+    /// graph. This is always a bug (or an injected fault), never a
+    /// property of the input.
+    WitnessFailure {
+        /// Which verification stage rejected the witness
+        /// (`"root_form"`, `"generator"`, `"iso_mapping"`, ...).
+        stage: &'static str,
+        /// What exactly did not hold.
+        detail: String,
+    },
 }
 
 impl DviclError {
@@ -126,12 +140,22 @@ impl DviclError {
         DviclError::InvalidInput(msg.into())
     }
 
+    /// Shorthand for a [`DviclError::WitnessFailure`].
+    pub fn witness(stage: &'static str, detail: impl Into<String>) -> Self {
+        DviclError::WitnessFailure {
+            stage,
+            detail: detail.into(),
+        }
+    }
+
     /// The CLI exit code for this error: 2 for bad input, 3 when a
-    /// budget ran out or the run was cancelled.
+    /// budget ran out or the run was cancelled, 4 when a paranoid
+    /// witness check rejected an output.
     pub fn exit_code(&self) -> u8 {
         match self {
             DviclError::Parse(_) | DviclError::InvalidInput(_) => 2,
             DviclError::BudgetExceeded { .. } | DviclError::Cancelled => 3,
+            DviclError::WitnessFailure { .. } => 4,
         }
     }
 
@@ -156,9 +180,15 @@ impl fmt::Display for DviclError {
                 Resource::WallClock => {
                     write!(f, "budget exceeded: deadline passed after {spent} ms")
                 }
+                Resource::Memory => {
+                    write!(f, "budget exceeded: memory ceiling hit at {spent} bytes")
+                }
             },
             DviclError::Cancelled => write!(f, "cancelled"),
             DviclError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            DviclError::WitnessFailure { stage, detail } => {
+                write!(f, "witness check failed at {stage}: {detail}")
+            }
         }
     }
 }
@@ -191,6 +221,7 @@ mod tests {
             3
         );
         assert_eq!(DviclError::Cancelled.exit_code(), 3);
+        assert_eq!(DviclError::witness("root_form", "edge mismatch").exit_code(), 4);
     }
 
     #[test]
@@ -220,5 +251,22 @@ mod tests {
         }
         .is_exhaustion());
         assert!(!DviclError::invalid("nope").is_exhaustion());
+        assert!(!DviclError::witness("generator", "not a bijection").is_exhaustion());
+    }
+
+    #[test]
+    fn witness_and_memory_display_are_informative() {
+        let w = DviclError::witness("iso_mapping", "edge (0,1) unmapped");
+        let msg = w.to_string();
+        assert!(msg.contains("iso_mapping"), "{msg}");
+        assert!(msg.contains("(0,1)"), "{msg}");
+        let m = DviclError::BudgetExceeded {
+            resource: Resource::Memory,
+            spent: 4096,
+        };
+        assert!(m.to_string().contains("4096"));
+        assert!(m.is_exhaustion());
+        assert_eq!(m.exit_code(), 3);
+        assert_eq!(Resource::Memory.to_string(), "memory");
     }
 }

@@ -22,14 +22,23 @@
 //! counter and a `budget_trip` event carrying the counter snapshot at
 //! trip time), so a truncated run still records how far it got. See
 //! DESIGN.md §9.
+//!
+//! The [`fault`] module adds deterministic fault injection on top:
+//! named [`fault::checkpoint`]s throughout the pipeline are free until
+//! a [`FaultPlan`] is installed, after which the plan injects typed
+//! errors at exact checkpoint ordinals — the machinery behind the
+//! fault-sweep harness and the `DVICL_FAULT_PLAN` / `--fault-plan`
+//! surfaces. See DESIGN.md §11.
 
 #![deny(missing_docs)]
 
 mod budget;
 mod error;
+pub mod fault;
 
 pub use budget::{Budget, CancelToken, STRIDE};
 pub use error::{DviclError, ParseError, ParseErrorKind, Resource};
+pub use fault::{FaultAction, FaultArm, FaultPlan};
 
 use std::time::Duration;
 

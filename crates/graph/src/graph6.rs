@@ -66,6 +66,7 @@ pub fn to_graph6(g: &Graph) -> String {
 
 /// Decodes a graph6 ASCII string.
 pub fn from_graph6(s: &str) -> Result<Graph, DviclError> {
+    dvicl_govern::fault::checkpoint("graph.graph6")?;
     let bytes = s.trim_end().as_bytes();
     if bytes.is_empty() {
         return Err(g6_err(ParseErrorKind::Empty, "empty graph6 string"));

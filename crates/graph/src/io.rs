@@ -53,6 +53,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, DviclError> {
             continue;
         }
         saw_data = true;
+        dvicl_govern::fault::checkpoint("graph.edge_line")?;
         let mut it = line.split_whitespace();
         let a = parse_vertex(it.next(), line, lineno)?;
         let b = parse_vertex(it.next(), line, lineno)?;

@@ -57,6 +57,32 @@ fn edge_list_u64_overflow_ids() {
 }
 
 #[test]
+fn edge_list_crlf_line_endings_parse_cleanly() {
+    // Windows-style CRLF: `lines()` strips `\n`, our `trim()` strips the
+    // stray `\r`, so the parse must agree byte-for-byte with the LF file.
+    let crlf = "# header\r\n10 20\r\n20 30\r\n\r\n30 10\r\n";
+    let lf = "# header\n10 20\n20 30\n\n30 10\n";
+    let a = read_edge_list(crlf.as_bytes()).unwrap();
+    let b = read_edge_list(lf.as_bytes()).unwrap();
+    assert_eq!(a.graph, b.graph);
+    assert_eq!(a.original_ids, b.original_ids);
+    assert_eq!(a.graph.m(), 3);
+}
+
+#[test]
+fn edge_list_duplicate_and_reversed_edges_collapse() {
+    // Duplicate edges — including reversed duplicates and interleaved
+    // self-loops — are preprocessing noise, not errors: the loaded graph
+    // is simple and undirected.
+    let input = "0 1\n1 0\n0 1\n2 2\n1 2\n2 1\n";
+    let loaded = read_edge_list(input.as_bytes()).unwrap();
+    assert_eq!(loaded.graph.n(), 3);
+    assert_eq!(loaded.graph.m(), 2); // {0,1} and {1,2}; self-loop dropped
+    assert!(loaded.graph.has_edge(0, 1));
+    assert!(loaded.graph.has_edge(1, 2));
+}
+
+#[test]
 fn edge_list_empty_inputs() {
     for input in ["", "\n", "# header only\n", "% comment\n\n# more\n"] {
         let err = read_edge_list(input.as_bytes()).unwrap_err();

@@ -1,0 +1,85 @@
+//! fault-checkpoint-naming: checkpoint sites are the keys of the fault
+//! plan grammar.
+//!
+//! DESIGN.md §11 fixes the convention: a fault checkpoint site is a
+//! span-style dot-path of at least two `[a-z0-9_]+` segments whose
+//! first segment names the crate that hosts the checkpoint
+//! (`"core.build_node"`, `"graph.edge_line"`). A misspelled site makes
+//! the checkpoint silently unreachable from `--fault-plan` /
+//! `DVICL_FAULT_PLAN` specs — the sweep would simply never fire there —
+//! so the convention is machine-checked: every string literal passed to
+//! a `checkpoint(...)` call must parse as such a dot-path with a known
+//! crate prefix. (Plan *specs* may use the `*` wildcard; call sites
+//! must not — each checkpoint names exactly one place.)
+
+use super::{code_tok, is_punct, FileCtx, Finding, Severity};
+use crate::lexer::TokKind;
+use crate::rules::obs_span_naming::KNOWN_PREFIXES;
+
+pub const ID: &str = "fault-checkpoint-naming";
+
+fn is_segment(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// `Ok(())` for a well-formed site name, `Err(reason)` otherwise.
+fn validate(site: &str) -> Result<(), String> {
+    let mut segments = site.split('.');
+    // split() always yields at least one item.
+    let first = segments.next().unwrap_or_default();
+    if !KNOWN_PREFIXES.contains(&first) {
+        return Err(format!(
+            "first segment `{first}` is not a workspace crate (expected one of {})",
+            KNOWN_PREFIXES.join(", ")
+        ));
+    }
+    let mut rest = 0usize;
+    for seg in segments {
+        if !is_segment(seg) {
+            return Err(format!(
+                "segment `{seg}` is not lower_snake_case ([a-z0-9_]+)"
+            ));
+        }
+        rest += 1;
+    }
+    if rest == 0 {
+        return Err("site needs at least two dot-separated segments (crate.place)".to_string());
+    }
+    Ok(())
+}
+
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for pos in 0..ctx.code.len() {
+        let Some(tok) = code_tok(ctx, pos, 0) else {
+            continue;
+        };
+        if tok.kind != TokKind::Ident || ctx.text(tok) != "checkpoint" {
+            continue;
+        }
+        if !is_punct(ctx, pos, 1, b'(') {
+            continue;
+        }
+        let Some(lit) = code_tok(ctx, pos, 2) else {
+            continue;
+        };
+        if lit.kind != TokKind::StrLit {
+            continue; // a computed site is out of this rule's reach
+        }
+        let text = ctx.text(lit);
+        let site = text.trim_matches('"');
+        if let Err(reason) = validate(site) {
+            out.push(ctx.finding(
+                ID,
+                Severity::Deny,
+                lit,
+                format!(
+                    "fault checkpoint site \"{site}\" breaks the crate.place convention: {reason}"
+                ),
+            ));
+        }
+    }
+    out
+}

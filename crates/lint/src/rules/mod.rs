@@ -10,6 +10,7 @@ use crate::lexer::{Tok, TokKind};
 
 pub mod budget_threading;
 pub mod error_taxonomy;
+pub mod fault_checkpoint_naming;
 pub mod narrowing_cast;
 pub mod nested_vec_adjacency;
 pub mod obs_span_naming;
@@ -185,6 +186,13 @@ pub fn catalog() -> &'static [RuleMeta] {
             summary: "span labels must be crate.phase dot-paths with a known crate prefix",
             applies: applies_everywhere,
             check: obs_span_naming::check,
+        },
+        RuleMeta {
+            id: fault_checkpoint_naming::ID,
+            severity: Severity::Deny,
+            summary: "fault checkpoint sites must be crate.place dot-paths with a known crate prefix",
+            applies: applies_everywhere,
+            check: fault_checkpoint_naming::check,
         },
     ]
 }

@@ -18,7 +18,7 @@ fn lint_fixture(group: &str, name: &str, rel: &str) -> (Vec<&'static str>, usize
 }
 
 /// (fixture dir, rule id, rel path to lint under, findings expected in trip.rs)
-const CASES: [(&str, &str, &str, usize); 7] = [
+const CASES: [(&str, &str, &str, usize); 8] = [
     ("panic_freedom", "panic-freedom", "crates/core/src/fixture.rs", 6),
     (
         "budget_threading",
@@ -40,6 +40,12 @@ const CASES: [(&str, &str, &str, usize); 7] = [
         "obs-span-naming",
         "crates/core/src/fixture.rs",
         5,
+    ),
+    (
+        "fault_checkpoint_naming",
+        "fault-checkpoint-naming",
+        "crates/core/src/fixture.rs",
+        6,
     ),
 ];
 

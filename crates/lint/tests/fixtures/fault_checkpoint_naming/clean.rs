@@ -1,0 +1,22 @@
+//! Clean fixture: well-formed checkpoint sites, deeper paths,
+//! non-literal sites (out of scope), and unrelated `checkpoint`
+//! identifiers.
+
+pub fn good_sites(dynamic: &'static str) -> Result<(), dvicl_govern::DviclError> {
+    dvicl_govern::fault::checkpoint("core.build_node")?;
+    dvicl_govern::fault::checkpoint("graph.edge_line")?;
+    dvicl_govern::fault::checkpoint("refine.individualize")?;
+    // A computed site cannot be checked statically; the rule skips it.
+    dvicl_govern::fault::checkpoint(dynamic)?;
+    Ok(())
+}
+
+pub struct Journal {
+    pub checkpoint: u64,
+}
+
+pub fn unrelated(j: &Journal) -> u64 {
+    // Field access and locals named `checkpoint` are not call sites.
+    let checkpoint = j.checkpoint;
+    checkpoint + 1
+}

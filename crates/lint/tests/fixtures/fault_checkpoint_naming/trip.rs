@@ -1,0 +1,12 @@
+//! Tripping fixture: every way a checkpoint site can break the
+//! crate.place convention.
+
+pub fn bad_sites() -> Result<(), dvicl_govern::DviclError> {
+    dvicl_govern::fault::checkpoint("build_node")?; // finding: single segment
+    dvicl_govern::fault::checkpoint("ssm.enumerate")?; // finding: unknown crate prefix
+    dvicl_govern::fault::checkpoint("core.buildNode")?; // finding: camelCase segment
+    dvicl_govern::fault::checkpoint("graph.edge-line")?; // finding: dash in segment
+    dvicl_govern::fault::checkpoint("govern.")?; // finding: empty second segment
+    dvicl_govern::fault::checkpoint("core.*")?; // finding: wildcard is spec-only syntax
+    Ok(())
+}

@@ -52,10 +52,17 @@ pub enum Counter {
     SsmStates,
     /// Budget exhaustion / cancellation trips (`govern::Budget`).
     BudgetTrips,
+    /// Witness checks performed by the paranoid verifier (`core::verify`).
+    VerifyChecks,
+    /// Witness checks that failed — always zero on a healthy build
+    /// (`core::verify`).
+    VerifyFailures,
+    /// Faults injected by an installed `govern::FaultPlan`.
+    FaultInjections,
 }
 
 /// How many counters exist (the length of [`Counter::ALL`]).
-pub const NUM_COUNTERS: usize = 17;
+pub const NUM_COUNTERS: usize = 20;
 
 impl Counter {
     /// Every counter, in reporting order.
@@ -77,6 +84,9 @@ impl Counter {
         Counter::ArenaReuses,
         Counter::SsmStates,
         Counter::BudgetTrips,
+        Counter::VerifyChecks,
+        Counter::VerifyFailures,
+        Counter::FaultInjections,
     ];
 
     /// The counter's stable snake_case name, as it appears in
@@ -104,6 +114,9 @@ impl Counter {
             Counter::ArenaReuses => "arena_reuses",
             Counter::SsmStates => "ssm_states",
             Counter::BudgetTrips => "budget_trips",
+            Counter::VerifyChecks => "verify_checks",
+            Counter::VerifyFailures => "verify_failures",
+            Counter::FaultInjections => "fault_injections",
         }
     }
 }

@@ -93,6 +93,7 @@ impl Refiner {
         budget: &Budget,
     ) -> Result<RefineResult, DviclError> {
         let _span = dvicl_obs::span("refine.refine");
+        dvicl_govern::fault::checkpoint("refine.refine")?;
         self.p.reset_from_coloring(g.n(), pi);
         let trace = self.p.try_refine(g, budget)?;
         Ok(RefineResult { trace, ..self.result() })
@@ -107,6 +108,7 @@ impl Refiner {
         budget: &Budget,
     ) -> Result<RefineResult, DviclError> {
         let _span = dvicl_obs::span("refine.individualize");
+        dvicl_govern::fault::checkpoint("refine.individualize")?;
         self.p.reset_from_coloring(g.n(), pi);
         let trace = self.p.try_individualize_and_refine(g, v, budget)?;
         Ok(RefineResult { trace, ..self.result() })

@@ -42,6 +42,7 @@ pub use dvicl_apps as apps;
 pub use dvicl_canon as canon;
 pub use dvicl_core as core;
 pub use dvicl_data as data;
+pub use dvicl_govern as govern;
 pub use dvicl_graph as graph;
 pub use dvicl_group as group;
 pub use dvicl_refine as refine;
