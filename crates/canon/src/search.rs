@@ -150,7 +150,6 @@ fn mix(h: u64, x: u64) -> u64 {
 /// refinement traces miss on geometric graphs; at a *discrete* coloring it
 /// hashes the full certificate, which is what makes the automorphism
 /// jump-back reliable (bliss's certificate-hash idea).
-// dvicl-lint: allow(budget-threading) -- pure O(n + m) invariant hash; each call is metered by the dfs node that requests it
 fn quotient_hash(g: &Graph, pi: &Coloring) -> u64 {
     let mut acc: u64 = 0x900d_0a90_0000_0000;
     for u in 0..g.n() as V {

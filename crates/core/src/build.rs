@@ -239,7 +239,7 @@ type ClEntry = (Perm, Vec<Perm>);
 /// Appends `x` as a LEB128-style varint. Each field is self-delimiting,
 /// so a sequence of varints is a prefix code: two encoded keys are equal
 /// iff the encoded field sequences are equal.
-// dvicl-lint: allow(budget-threading) -- at most ten iterations for a u64; callers meter per tree node
+// dvicl-lint: allow(budget-reachability) -- at most ten iterations for a u64; callers meter per tree node
 fn push_varint(out: &mut Vec<u8>, mut x: u64) {
     loop {
         // dvicl-lint: allow(narrowing-cast) -- masked to seven bits first
@@ -449,7 +449,6 @@ impl<'a> Builder<'a> {
     /// `CombineST` (Algorithm 5): sort children by certificate; order the
     /// vertices of each (global) cell by (child position, child label);
     /// the rank within the cell gives `γ_g(v) = π(v) + rank`.
-    // dvicl-lint: allow(budget-threading) -- O(children log children) merge of already-built nodes; the per-node work was metered when each child was built
     fn combine_st(&mut self, id: NodeId, sub: &Sub, mut children: Vec<NodeId>) {
         let _span = obs::span("core.combine");
         // Line 1: non-descending certificate order.

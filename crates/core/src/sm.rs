@@ -49,7 +49,6 @@ pub fn try_enumerate_induced(
 
 /// Reorders so each vertex (after the first) is adjacent to an earlier one
 /// when possible.
-// dvicl-lint: allow(budget-threading) -- one-shot O(q.n() + q.m()) preprocessing of the query graph, done before the metered VF2 search starts
 fn connectivity_order(q: &Graph, pref: &[V]) -> Vec<V> {
     let mut order = Vec::with_capacity(pref.len());
     let mut placed = vec![false; q.n()];
@@ -124,7 +123,6 @@ fn sm_rec(
 
 /// Tries `w` as the image of `order[k]` and recurses on consistency.
 #[allow(clippy::too_many_arguments)]
-// dvicl-lint: allow(budget-threading) -- per-candidate filter; the recursion it guards spends one unit per sm_rec call
 fn sm_try(
     g: &Graph,
     q: &Graph,

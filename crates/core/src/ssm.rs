@@ -43,7 +43,6 @@ pub struct SsmIndex {
 
 impl SsmIndex {
     /// Builds the index for `tree`.
-    // dvicl-lint: allow(budget-threading) -- one-shot O(tree.len() + n) index build over an already-budgeted AutoTree
     pub fn new(tree: &AutoTree) -> Self {
         let n = tree.pi.n();
         let mut leaf_of = vec![usize::MAX; n];
@@ -67,7 +66,7 @@ impl SsmIndex {
 
     /// The child of `node` whose subtree contains `v` (`v` must be in the
     /// node's subgraph but `node` must not be `v`'s leaf).
-    // dvicl-lint: allow(budget-threading) -- walks one leaf-to-node path, O(tree depth); callers meter per query vertex
+    // dvicl-lint: allow(budget-reachability) -- walks one leaf-to-node path, O(tree depth); callers meter per query vertex
     fn child_under(&self, tree: &AutoTree, node: NodeId, v: V) -> NodeId {
         let mut cur = self.leaf_of[v as usize];
         loop {
@@ -82,7 +81,6 @@ impl SsmIndex {
 
     /// Partitions `set` among the children of `node`; returns
     /// `(child position, child id, subset)` sorted by position.
-    // dvicl-lint: allow(budget-threading) -- O(|set| * depth) helper; the recursive SSM callers spend budget per node visited
     fn partition(&self, tree: &AutoTree, node: NodeId, set: &[V]) -> Vec<(u32, NodeId, Vec<V>)> {
         let mut by_child: FxHashMap<NodeId, Vec<V>> = FxHashMap::default();
         for &v in set {
@@ -691,7 +689,7 @@ fn assign_rec(
     let count = end - start;
     // Choose `count` unused slots (combinations, ascending, to avoid
     // duplicate unordered assignments of equal-key instances).
-    // dvicl-lint: allow(budget-threading) -- enumerates C(slots, count) combinations; the caller spends budget per assignment it consumes
+    // dvicl-lint: allow(budget-reachability) -- enumerates C(slots, count) combinations; the caller spends budget per assignment it consumes
     fn combos(
         used: &mut Vec<bool>,
         from: usize,

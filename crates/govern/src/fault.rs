@@ -253,6 +253,26 @@ pub fn hit_counts() -> Vec<(&'static str, u64)> {
     }
 }
 
+/// Every checkpoint site in the workspace, sorted. This is the
+/// authoritative registry: `dvicl-lint`'s registry-coherence rule
+/// extracts the `checkpoint("…")` call sites from source and
+/// cross-checks them against this list in both directions, and the
+/// `checkpoint_registry` integration test asserts the fault sweep
+/// replays exactly this set. Adding a checkpoint without registering
+/// it here (or vice versa) fails CI.
+pub const CHECKPOINT_SITES: [&str; 10] = [
+    "canon.dfs",
+    "core.arena_carve",
+    "core.build_node",
+    "core.leaf_ir",
+    "core.ssm",
+    "govern.spend",
+    "graph.edge_line",
+    "graph.graph6",
+    "refine.individualize",
+    "refine.refine",
+];
+
 /// A named fault-injection point. Free (one relaxed atomic load) unless
 /// a plan is installed; with a plan installed, counts the hit and
 /// injects the matching arm's typed error, if any.

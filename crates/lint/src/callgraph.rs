@@ -1,0 +1,176 @@
+//! The intra-workspace call graph, built over the symbol table's `Fn`
+//! nodes by scanning every function body for call-shaped token
+//! sequences: `name(` and `.name(`.
+//!
+//! Edges are resolved by name to *every* workspace function with that
+//! name (see `symbols` for why over-approximation is the safe
+//! direction here). Macro invocations (`name!(…)`) and definitions are
+//! excluded; calls into `std` or through trait objects simply resolve
+//! to nothing and add no edge. Turbofish calls (`name::<T>(…)`) are a
+//! known blind spot — none of the governed code paths use them at call
+//! sites the rules reason about.
+
+use crate::lexer::TokKind;
+use crate::symbols::SymbolTable;
+use crate::FileData;
+
+/// Keywords that look like `ident (` at call sites but never are.
+const NON_CALL_KEYWORDS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "loop", "in", "as", "let", "else", "move", "fn",
+];
+
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `callees[id]` — call-graph node ids called from fn `id`'s body,
+    /// deduplicated, in first-occurrence order.
+    pub callees: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    pub fn build(files: &[FileData], syms: &SymbolTable) -> CallGraph {
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); syms.fns.len()];
+        for (id, &r) in syms.fns.iter().enumerate() {
+            let file = &files[r.file];
+            let item = &file.items[r.item];
+            let Some((start, end)) = item.body else { continue };
+            for cp in start..end {
+                let Some(&ti) = file.code.get(cp) else { break };
+                let tok = &file.toks[ti];
+                if tok.kind != TokKind::Ident {
+                    continue;
+                }
+                // `name (` — and not `name !(`, not `fn name (`.
+                if !is_punct(file, cp + 1, b'(') {
+                    continue;
+                }
+                if cp > 0 && is_kw(file, cp - 1, "fn") {
+                    continue;
+                }
+                let name = tok.text(&file.src);
+                if NON_CALL_KEYWORDS.contains(&name) {
+                    continue;
+                }
+                for &target in syms.fns_named(name) {
+                    let titem = syms.fn_item(files, target);
+                    if titem.is_test && !item.is_test {
+                        continue;
+                    }
+                    if !callees[id].contains(&target) {
+                        callees[id].push(target);
+                    }
+                }
+            }
+        }
+        CallGraph { callees }
+    }
+
+    /// Fixpoint over call edges: `out[id]` is true when `id` is a seed
+    /// or any of its (transitive) callees is. This answers "can
+    /// execution starting in `id` reach a seed function?".
+    pub fn can_reach(&self, seeds: &[bool]) -> Vec<bool> {
+        let mut out = seeds.to_vec();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in 0..self.callees.len() {
+                if out[id] {
+                    continue;
+                }
+                if self.callees[id].iter().any(|&c| out[c]) {
+                    out[id] = true;
+                    changed = true;
+                }
+            }
+        }
+        out
+    }
+
+    /// Forward reachability: every node reachable from the `roots` by
+    /// following call edges (roots included).
+    pub fn reachable_from(&self, roots: &[bool]) -> Vec<bool> {
+        let mut out = roots.to_vec();
+        let mut stack: Vec<usize> = (0..out.len()).filter(|&i| out[i]).collect();
+        while let Some(id) = stack.pop() {
+            for &c in &self.callees[id] {
+                if !out[c] {
+                    out[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn is_punct(file: &FileData, cp: usize, b: u8) -> bool {
+    matches!(file.code.get(cp), Some(&i) if file.toks[i].kind == TokKind::Punct(b))
+}
+
+fn is_kw(file: &FileData, cp: usize, kw: &str) -> bool {
+    matches!(file.code.get(cp), Some(&i) if file.toks[i].kind == TokKind::Ident
+        && file.toks[i].text(&file.src) == kw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileData;
+
+    fn ws(src: &str) -> (Vec<FileData>, SymbolTable, CallGraph) {
+        let files = vec![FileData::analyze("crates/core/src/x.rs".into(), src.into())];
+        let syms = SymbolTable::build(&files);
+        let graph = CallGraph::build(&files, &syms);
+        (files, syms, graph)
+    }
+
+    #[test]
+    fn direct_method_and_transitive_edges() {
+        let src = r#"
+            fn leaf(budget: usize) {}
+            fn middle(x: &X) { x.leaf(1); }
+            fn top() { middle(); }
+            fn island() { println!("no edges"); }
+        "#;
+        let (files, syms, graph) = ws(src);
+        let id = |n: &str| syms.fns_named(n)[0];
+        assert_eq!(graph.callees[id("middle")], vec![id("leaf")]);
+        assert_eq!(graph.callees[id("top")], vec![id("middle")]);
+        assert!(graph.callees[id("island")].is_empty(), "macro is not a call");
+        let mut seeds = vec![false; syms.fns.len()];
+        seeds[id("leaf")] = true;
+        let reach = graph.can_reach(&seeds);
+        assert!(reach[id("top")] && reach[id("middle")] && !reach[id("island")]);
+        let _ = files;
+    }
+
+    #[test]
+    fn forward_reachability_from_roots() {
+        let src = r#"
+            fn root() { a(); }
+            fn a() { b(); }
+            fn b() {}
+            fn other() { b(); }
+        "#;
+        let (_, syms, graph) = ws(src);
+        let id = |n: &str| syms.fns_named(n)[0];
+        let mut roots = vec![false; syms.fns.len()];
+        roots[id("root")] = true;
+        let fwd = graph.reachable_from(&roots);
+        assert!(fwd[id("a")] && fwd[id("b")]);
+        assert!(!fwd[id("other")]);
+    }
+
+    #[test]
+    fn test_fns_do_not_capture_edges_from_production_code() {
+        let src = r#"
+            fn prod() { helper(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+            }
+        "#;
+        let (_, syms, graph) = ws(src);
+        let prod = syms.fns_named("prod")[0];
+        assert!(graph.callees[prod].is_empty());
+    }
+}

@@ -1,0 +1,475 @@
+//! A small forward dataflow pass over one function body: tracks
+//! open/close *pairs* of resource method calls (`SubArena::mark` /
+//! `SubArena::release` for the arena-discipline rule) across the
+//! body's block structure and reports paths that exit while a resource
+//! is open.
+//!
+//! The abstraction is a per-variable open/closed state plus the brace
+//! depth it was opened at:
+//!
+//! - `let m = recv.mark();` opens `m` at the current depth.
+//! - `recv.release(m)` at the *same* depth closes `m` unconditionally.
+//! - `recv.release(m)` at a *deeper* depth is a conditional close: `m`
+//!   stays closed for the rest of that block (so a `return`/`?` right
+//!   after the release is clean), and reopens when the block ends —
+//!   the fall-through path never executed the release. This is exactly
+//!   the `try_…` rollback shape: release-then-`Err` inside an `if`,
+//!   keep the resource on the success path.
+//! - `?` / `return` while any variable is open is a leak on that exit
+//!   path; `break`/`continue` leak only variables opened inside the
+//!   loop being exited.
+//! - A block ending (or the body ending) below a variable's open depth
+//!   while it is still open is a leak on the fall-through path.
+//!
+//! The pass is syntactic: it does not model `if`/`else` joins beyond
+//! the reopen rule above, so "both branches release" patterns need a
+//! pragma. The workspace has none; the rule's escape hatch documents
+//! the invariant when one appears.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Why an issue was raised.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IssueKind {
+    /// `?`, `return`, `break`, or `continue` reached with the variable
+    /// open. The payload is the exiting token's text.
+    EarlyExit(&'static str),
+    /// The variable's scope (or the whole body) ended with it open.
+    OutOfScope,
+    /// Closed twice on the same path.
+    DoubleClose,
+    /// Re-bound by a new `let … = ….mark()` while still open.
+    ShadowedOpen,
+}
+
+/// One discipline violation found in a body.
+#[derive(Clone, Debug)]
+pub struct Issue {
+    pub kind: IssueKind,
+    /// Code position of the token the issue is anchored at (the exit
+    /// token, the closing `}`, or the re-binding `let`).
+    pub at_cp: usize,
+    /// The tracked variable.
+    pub var: String,
+    /// Code position where the variable was opened.
+    pub opened_cp: usize,
+}
+
+struct Tracked {
+    var: String,
+    opened_cp: usize,
+    open_depth: i32,
+    open: bool,
+    /// Depth of a conditional close to undo when its block ends.
+    closed_at: Option<i32>,
+}
+
+/// Scans a function body (code positions `[start, end]` where `end` is
+/// the closing `}`) for `let v = ….<open_method>()` / `….<close_method>(v)`
+/// pairing violations.
+pub fn scan_pairs(
+    src: &str,
+    toks: &[Tok],
+    code: &[usize],
+    body: (usize, usize),
+    open_method: &str,
+    close_method: &str,
+) -> Vec<Issue> {
+    let tok = |cp: usize| code.get(cp).map(|&i| &toks[i]);
+    let text = |cp: usize| tok(cp).map(|t| t.text(src)).unwrap_or("");
+    let is_punct = |cp: usize, b: u8| matches!(tok(cp), Some(t) if t.kind == TokKind::Punct(b));
+    let is_ident = |cp: usize| matches!(tok(cp), Some(t) if t.kind == TokKind::Ident);
+
+    let mut issues = Vec::new();
+    let mut tracked: Vec<Tracked> = Vec::new();
+    let mut depth = 0i32;
+    // Depths of loop-body interiors, innermost last.
+    let mut loop_depths: Vec<i32> = Vec::new();
+    let mut pending_loop = false;
+    // Paren depth since the loop keyword, so `while let Some(x) = …(…)`
+    // doesn't arm on a closure or group before its real body.
+    let (start, end) = body;
+    let mut cp = start;
+    while cp <= end {
+        let Some(t) = tok(cp) else { break };
+        match t.kind {
+            TokKind::Punct(b'{') => {
+                depth += 1;
+                // A loop keyword arms the next block at paren depth 0;
+                // closure bodies (`|…| {`) do not count.
+                if pending_loop && !is_punct(cp.wrapping_sub(1), b'|') {
+                    loop_depths.push(depth);
+                    pending_loop = false;
+                }
+            }
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                // Undo conditional closes whose block just ended.
+                for tr in tracked.iter_mut() {
+                    if let Some(d) = tr.closed_at {
+                        if d > depth {
+                            tr.open = true;
+                            tr.closed_at = None;
+                        }
+                    }
+                }
+                // Variables falling out of scope while open.
+                for tr in tracked.iter_mut() {
+                    if tr.open && tr.open_depth > depth {
+                        issues.push(Issue {
+                            kind: IssueKind::OutOfScope,
+                            at_cp: cp,
+                            var: tr.var.clone(),
+                            opened_cp: tr.opened_cp,
+                        });
+                        tr.open = false;
+                    }
+                }
+                tracked.retain(|tr| tr.open_depth <= depth);
+                while loop_depths.last().is_some_and(|&d| d > depth) {
+                    loop_depths.pop();
+                }
+            }
+            // `?Sized` bounds are not the try operator.
+            TokKind::Punct(b'?') if text(cp + 1) != "Sized" => {
+                early_exit(&tracked, cp, "?", None, &mut issues);
+            }
+            TokKind::Ident => match text(cp) {
+                "return" => early_exit(&tracked, cp, "return", None, &mut issues),
+                "break" => {
+                    early_exit(&tracked, cp, "break", loop_depths.last().copied(), &mut issues)
+                }
+                "continue" => {
+                    early_exit(&tracked, cp, "continue", loop_depths.last().copied(), &mut issues)
+                }
+                "for" | "while" | "loop" => pending_loop = true,
+                "let" => {
+                    if let Some((var, var_cp)) =
+                        let_opens(src, toks, code, cp, end, open_method)
+                    {
+                        if let Some(tr) =
+                            tracked.iter_mut().find(|tr| tr.var == var && tr.open)
+                        {
+                            issues.push(Issue {
+                                kind: IssueKind::ShadowedOpen,
+                                at_cp: cp,
+                                var: var.clone(),
+                                opened_cp: tr.opened_cp,
+                            });
+                            tr.open = false;
+                        }
+                        tracked.push(Tracked {
+                            var,
+                            opened_cp: var_cp,
+                            open_depth: depth,
+                            open: true,
+                            closed_at: None,
+                        });
+                    }
+                }
+                // `.close_method ( var )`
+                m if m == close_method
+                    && cp > start
+                    && is_punct(cp - 1, b'.')
+                    && is_punct(cp + 1, b'(')
+                    && is_ident(cp + 2)
+                    && is_punct(cp + 3, b')') =>
+                {
+                    let var = text(cp + 2);
+                    // Most recent binding wins (shadowing). Unknown
+                    // vars (parameters released for a caller) are out
+                    // of this pass's scope.
+                    if let Some(tr) = tracked.iter_mut().rev().find(|tr| tr.var == var) {
+                        if !tr.open {
+                            issues.push(Issue {
+                                kind: IssueKind::DoubleClose,
+                                at_cp: cp,
+                                var: var.to_string(),
+                                opened_cp: tr.opened_cp,
+                            });
+                        } else if depth > tr.open_depth {
+                            tr.open = false;
+                            tr.closed_at = Some(depth);
+                        } else {
+                            tr.open = false;
+                            tr.closed_at = None;
+                        }
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        cp += 1;
+    }
+    issues
+}
+
+/// Does the `let` statement starting at `let_cp` bind the result of an
+/// `….<open_method>()` call? Returns the bound variable and its code
+/// position. Only simple `let [mut] name = …;` bindings are matched —
+/// pattern bindings never carry arena marks in this codebase.
+fn let_opens(
+    src: &str,
+    toks: &[Tok],
+    code: &[usize],
+    let_cp: usize,
+    end: usize,
+    open_method: &str,
+) -> Option<(String, usize)> {
+    let tok = |cp: usize| code.get(cp).map(|&i| &toks[i]);
+    let text = |cp: usize| tok(cp).map(|t| t.text(src)).unwrap_or("");
+    let is_punct = |cp: usize, b: u8| matches!(tok(cp), Some(t) if t.kind == TokKind::Punct(b));
+
+    let mut k = let_cp + 1;
+    if text(k) == "mut" {
+        k += 1;
+    }
+    let var_cp = k;
+    if !matches!(tok(k), Some(t) if t.kind == TokKind::Ident) {
+        return None;
+    }
+    if !is_punct(k + 1, b'=') {
+        return None;
+    }
+    // Scan the initializer to the statement's `;` for `.open_method()`.
+    let mut depth = 0i32;
+    let mut j = k + 2;
+    while j <= end {
+        let t = tok(j)?;
+        match t.kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') | TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') | TokKind::Punct(b'}') => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            TokKind::Punct(b';') if depth == 0 => break,
+            TokKind::Ident
+                if t.text(src) == open_method
+                    && is_punct(j.wrapping_sub(1), b'.')
+                    && is_punct(j + 1, b'(')
+                    && is_punct(j + 2, b')') =>
+            {
+                return Some((text(var_cp).to_string(), var_cp));
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+fn early_exit(
+    tracked: &[Tracked],
+    cp: usize,
+    what: &'static str,
+    min_depth: Option<i32>,
+    issues: &mut Vec<Issue>,
+) {
+    for tr in tracked {
+        if !tr.open {
+            continue;
+        }
+        // break/continue only leak marks opened inside the loop.
+        if let Some(d) = min_depth {
+            if tr.open_depth < d {
+                continue;
+            }
+        }
+        issues.push(Issue {
+            kind: IssueKind::EarlyExit(what),
+            at_cp: cp,
+            var: tr.var.clone(),
+            opened_cp: tr.opened_cp,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    /// Runs the pass over the body of the first `fn` in `src`.
+    fn scan(src: &str) -> Vec<Issue> {
+        let toks = lexer::lex(src);
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let items = crate::parse::items(src, &toks, &code, &[]);
+        let body = items
+            .iter()
+            .find(|i| i.kind == crate::parse::ItemKind::Fn)
+            .and_then(|i| i.body)
+            .expect("fixture has a fn with a body");
+        scan_pairs(src, &toks, &code, (body.0, body.1), "mark", "release")
+    }
+
+    #[test]
+    fn balanced_mark_release_is_clean() {
+        let issues = scan(
+            "fn f(a: &mut A) -> R {
+                let mark = a.mark();
+                let out = a.carve();
+                a.release(mark);
+                out
+            }",
+        );
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn release_before_try_is_clean_and_after_is_not() {
+        let clean = scan(
+            "fn f(a: &mut A) -> Result<R, E> {
+                let mark = a.mark();
+                let out = a.carve();
+                a.release(mark);
+                Ok(out?)
+            }",
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+        let dirty = scan(
+            "fn f(a: &mut A) -> Result<R, E> {
+                let mark = a.mark();
+                let out = a.carve()?;
+                a.release(mark);
+                Ok(out)
+            }",
+        );
+        assert_eq!(dirty.len(), 1, "{dirty:?}");
+        assert_eq!(dirty[0].kind, IssueKind::EarlyExit("?"));
+        assert_eq!(dirty[0].var, "mark");
+    }
+
+    #[test]
+    fn conditional_release_reopens_on_fallthrough() {
+        // The try_… rollback shape: release + Err inside the if is
+        // clean, but the success path leaks unless the caller owns it.
+        let issues = scan(
+            "fn f(a: &mut A) -> Result<R, E> {
+                let mark = a.mark();
+                if a.over() {
+                    a.release(mark);
+                    return Err(E::Budget);
+                }
+                Ok(a.take())
+            }",
+        );
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        assert_eq!(issues[0].kind, IssueKind::OutOfScope);
+    }
+
+    #[test]
+    fn return_while_open_is_flagged() {
+        let issues = scan(
+            "fn f(a: &mut A) -> usize {
+                let m = a.mark();
+                if a.empty() {
+                    return 0;
+                }
+                a.release(m);
+                1
+            }",
+        );
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        assert_eq!(issues[0].kind, IssueKind::EarlyExit("return"));
+        assert_eq!(issues[0].var, "m");
+    }
+
+    #[test]
+    fn break_outside_the_marks_loop_is_clean() {
+        let issues = scan(
+            "fn f(a: &mut A) {
+                let m = a.mark();
+                for x in a.items() {
+                    if x.bad() {
+                        break;
+                    }
+                }
+                a.release(m);
+            }",
+        );
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn break_with_loop_local_mark_open_is_flagged() {
+        let issues = scan(
+            "fn f(a: &mut A) {
+                while a.more() {
+                    let m = a.mark();
+                    if a.bad() {
+                        break;
+                    }
+                    a.release(m);
+                }
+            }",
+        );
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        assert_eq!(issues[0].kind, IssueKind::EarlyExit("break"));
+    }
+
+    #[test]
+    fn per_iteration_pairs_and_double_release() {
+        let clean = scan(
+            "fn f(a: &mut A) {
+                for _ in 0..a.n() {
+                    let m = a.mark();
+                    a.carve();
+                    a.release(m);
+                }
+            }",
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+        let dirty = scan(
+            "fn f(a: &mut A) {
+                let m = a.mark();
+                a.release(m);
+                a.release(m);
+            }",
+        );
+        assert_eq!(dirty.len(), 1, "{dirty:?}");
+        assert_eq!(dirty[0].kind, IssueKind::DoubleClose);
+    }
+
+    #[test]
+    fn body_end_with_open_mark_is_flagged() {
+        let issues = scan(
+            "fn f(a: &mut A) -> Child {
+                let m = a.mark();
+                a.carve()
+            }",
+        );
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        assert_eq!(issues[0].kind, IssueKind::OutOfScope);
+        assert_eq!(issues[0].var, "m");
+    }
+
+    #[test]
+    fn question_mark_sized_bound_is_ignored() {
+        let issues = scan(
+            "fn f(a: &mut A) {
+                let m = a.mark();
+                fn helper<T: ?Sized>(t: &T) {}
+                a.release(m);
+            }",
+        );
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn releases_of_caller_owned_marks_are_ignored() {
+        let issues = scan(
+            "fn f(a: &mut A, m: Mark) {
+                a.release(m);
+            }",
+        );
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+}

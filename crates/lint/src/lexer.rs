@@ -327,10 +327,19 @@ fn lex_raw_string_tail(c: &mut Cursor, hashes: usize) {
 }
 
 /// Consumes a numeric literal (cursor on the first digit). Handles
-/// `0x…`/`0b…`/`0o…`, `_` separators, type suffixes, and floats — while
-/// refusing to swallow the `..` of a range like `0..n`.
+/// `0x…`/`0b…`/`0o…`, `_` separators, type suffixes, floats, and signed
+/// exponents with or without a fractional part (`1e-9`, `2.5E+3`) —
+/// while refusing to swallow the `..` of a range like `0..n`.
 fn lex_number(c: &mut Cursor) {
+    let start = c.i;
     c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    // Hex/binary/octal literals have no exponent: `0xAE-1` is a
+    // subtraction, not a signed exponent.
+    let radix_prefixed =
+        c.src.get(start) == Some(&b'0') && matches!(c.src.get(start + 1), Some(b'x' | b'b' | b'o'));
+    if !radix_prefixed {
+        eat_exponent_sign(c);
+    }
     // A fractional part only if `.` is followed by a digit ( `1.max()`
     // and `0..n` must not consume the dot).
     if c.peek(0) == Some(b'.') {
@@ -338,17 +347,21 @@ fn lex_number(c: &mut Cursor) {
             if b.is_ascii_digit() {
                 c.bump();
                 c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
-                // Exponent sign: 1.5e-3 — the `e` was eaten above, a
-                // sign+digits tail may remain.
-                if matches!(c.peek(0), Some(b'+') | Some(b'-'))
-                    && matches!(c.src.get(c.i.wrapping_sub(1)), Some(b'e') | Some(b'E'))
-                    && c.peek(1).is_some_and(|b| b.is_ascii_digit())
-                {
-                    c.bump();
-                    c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
-                }
+                eat_exponent_sign(c);
             }
         }
+    }
+}
+
+/// After an alphanumeric run ending in `e`/`E`, a `+`/`-` followed by a
+/// digit is a signed exponent (`1e-9`, `1.5E+3`), not an operator.
+fn eat_exponent_sign(c: &mut Cursor) {
+    if matches!(c.peek(0), Some(b'+') | Some(b'-'))
+        && matches!(c.src.get(c.i.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+        && c.peek(1).is_some_and(|b| b.is_ascii_digit())
+    {
+        c.bump();
+        c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
     }
 }
 
@@ -469,6 +482,90 @@ mod tests {
         assert!(toks
             .iter()
             .any(|t| t.kind == TokKind::Ident && t.text(src) == "r#fn"));
+    }
+
+    #[test]
+    fn raw_strings_multi_hash_with_embedded_terminators() {
+        // A two-hash raw string whose body contains the one-hash
+        // terminator `"#` must not close early.
+        let src = r####"let s = r##"has "# inside and a \ backslash"## ; tail"####;
+        let toks = lex(src);
+        let s = toks
+            .iter()
+            .find(|t| t.kind == TokKind::StrLit)
+            .map(|t| t.text(src))
+            .unwrap_or_default();
+        assert!(s.starts_with("r##\"") && s.ends_with("\"##"), "got {s:?}");
+        assert!(code_texts(src).iter().any(|t| t == "tail"));
+    }
+
+    #[test]
+    fn raw_byte_strings_and_unterminated_raw_string() {
+        let src = "let a = br##\"raw \"# bytes\"##; let b = 1;";
+        let toks = lex(src);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::StrLit)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(strs, vec!["br##\"raw \"# bytes\"##"]);
+        // Unterminated raw string: swallowed to EOF as one literal, no
+        // panic, nothing after it leaks out as an identifier.
+        let src2 = "x r#\"never closed\" y";
+        let toks2 = lex(src2);
+        assert_eq!(toks2.len(), 2);
+        assert_eq!(toks2[1].kind, TokKind::StrLit);
+        assert_eq!(toks2[1].text(src2), "r#\"never closed\" y");
+    }
+
+    #[test]
+    fn deeply_nested_and_unterminated_block_comments() {
+        let src = "a /* 1 /* 2 /* 3 unwrap() */ 2 */ 1 */ b";
+        assert_eq!(code_texts(src), vec!["a", "b"]);
+        // Unterminated at depth 2: swallowed to EOF.
+        let src2 = "a /* outer /* inner */ still open b";
+        assert_eq!(code_texts(src2), vec!["a"]);
+        // `/*/` does not self-close (the `/` is shared).
+        let src3 = "a /*/ still comment */ b";
+        assert_eq!(code_texts(src3), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars_in_braces_labels_and_bounds() {
+        // Char literals holding brace/quote bytes must stay opaque, or
+        // downstream brace matching would desynchronize.
+        let src = "match c { '{' => 1, '}' => 2, '\\'' => 3, _ => 4 }";
+        let toks = lex(src);
+        let braces = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Punct(b'{') | TokKind::Punct(b'}')))
+            .count();
+        assert_eq!(braces, 2, "only the match braces are punctuation");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::CharLit).count(),
+            3
+        );
+        // Loop labels and `?Sized` bounds.
+        let src2 = "'outer: loop { break 'outer; } fn f<T: ?Sized>() {}";
+        let toks2 = lex(src2);
+        let lifetimes: Vec<_> = toks2
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src2))
+            .collect();
+        assert_eq!(lifetimes, vec!["'outer", "'outer"]);
+    }
+
+    #[test]
+    fn exponents_without_fraction_and_hex_subtraction() {
+        let src = "let a = 1e-9; let b = 2E+10; let c = 0xAE-1; let d = 5e3;";
+        let toks = lex(src);
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::NumLit)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(nums, vec!["1e-9", "2E+10", "0xAE", "1", "5e3"]);
     }
 
     #[test]

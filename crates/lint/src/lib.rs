@@ -7,12 +7,17 @@
 //! convention. It is deliberately dependency-free (hand-rolled lexer,
 //! hand-rolled JSON) so the workspace keeps building offline.
 //!
-//! The pipeline per file: [`lexer::lex`] → locate `#[cfg(test)]` /
-//! `#[test]` items → collect `// dvicl-lint: allow(...) -- reason`
-//! pragmas → run every applicable rule from [`rules::catalog`] → drop
-//! findings inside test items → drop findings suppressed by a
-//! well-formed pragma. See DESIGN.md §8 for the rule catalog and the
-//! suppression policy.
+//! The pipeline: every file is lexed ([`lexer::lex`]) and item-parsed
+//! ([`parse::items`]) into a [`FileData`]; the [`Workspace`] then
+//! builds a symbol table ([`symbols::SymbolTable`]) and call graph
+//! ([`callgraph::CallGraph`]) over all files. Per-file rules from
+//! [`rules::catalog`] see one file; workspace rules from
+//! [`rules::ws_catalog`] see the whole [`Workspace`] (call-graph
+//! reachability, cross-file registries). Findings inside
+//! `#[cfg(test)]` items are dropped, then `// dvicl-lint: allow(...)
+//! -- reason` pragmas are applied per owning file. See DESIGN.md §8
+//! for the rule catalog and the suppression policy, §12 for the
+//! parser/call-graph/dataflow architecture.
 //!
 //! What gets scanned: non-test sources of every workspace crate
 //! (`crates/*/src/**` and the root `src/`). Test-class trees (`tests/`,
@@ -20,15 +25,21 @@
 //! skipped — tests unwrap freely by design, and the shims are stand-ins
 //! for third-party code the rules do not govern.
 
+pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
+pub mod parse;
 pub mod pragma;
 pub mod report;
 pub mod rules;
+pub mod send_safety;
+pub mod symbols;
 
 use lexer::{Tok, TokKind};
 use pragma::Pragma;
 use report::Report;
 use rules::{FileCtx, Finding, Severity};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 /// Meta-rule id: a pragma without a non-empty `-- reason` tail.
@@ -79,51 +90,151 @@ pub fn crate_name_of(rel: &str) -> &str {
     }
 }
 
-/// Lints one source text under its workspace-relative path (which
-/// drives rule applicability). Returns *unsuppressed* findings plus
-/// pragma meta-findings, sorted by position; the second value is how
-/// many findings well-formed pragmas silenced.
-pub fn lint_source(rel: &str, src: &str) -> (Vec<Finding>, usize) {
-    let toks = lexer::lex(src);
-    let code: Vec<usize> = toks
-        .iter()
-        .enumerate()
-        .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
-        .map(|(i, _)| i)
-        .collect();
-    let test_spans = find_test_spans(src, &toks, &code);
-    let crate_name = crate_name_of(rel);
-    let ctx = FileCtx {
-        rel,
-        crate_name,
-        src,
-        toks: &toks,
-        code: &code,
-        test_spans: &test_spans,
-    };
+/// One analyzed source file: lexed, test-span-mapped, item-parsed.
+pub struct FileData {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Crate the file belongs to (see [`crate_name_of`]).
+    pub crate_name: String,
+    pub src: String,
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of the non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Byte spans of `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Parsed items (see [`parse::items`]).
+    pub items: Vec<parse::Item>,
+}
 
-    let (pragmas, mut findings) = collect_pragmas(&ctx);
-
-    for meta in rules::catalog() {
-        if !(meta.applies)(crate_name) {
-            continue;
+impl FileData {
+    /// Lexes and item-parses one source text.
+    pub fn analyze(rel: String, src: String) -> FileData {
+        let toks = lexer::lex(&src);
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let test_spans = find_test_spans(&src, &toks, &code);
+        let items = parse::items(&src, &toks, &code, &test_spans);
+        let crate_name = crate_name_of(&rel).to_string();
+        FileData {
+            rel,
+            crate_name,
+            src,
+            toks,
+            code,
+            test_spans,
+            items,
         }
-        findings.extend((meta.check)(&ctx));
     }
 
-    // Drop findings inside test-only items, then apply suppressions.
-    findings.retain(|f| !ctx.in_test(f.byte));
-    let before = findings.len();
-    findings.retain(|f| {
-        // The pragma meta-findings are not themselves suppressible —
-        // otherwise a malformed pragma could hide its own malformation.
-        f.rule == PRAGMA_MISSING_REASON
-            || f.rule == PRAGMA_UNKNOWN_RULE
-            || !pragmas.iter().any(|p| p.suppresses(f.rule, f.line))
-    });
-    let suppressed = before - findings.len();
-    findings.sort_by_key(|f| (f.line, f.col));
-    (findings, suppressed)
+    /// A rule-facing view of this file.
+    pub fn ctx(&self) -> FileCtx<'_> {
+        FileCtx {
+            rel: &self.rel,
+            crate_name: &self.crate_name,
+            src: &self.src,
+            toks: &self.toks,
+            code: &self.code,
+            test_spans: &self.test_spans,
+            items: &self.items,
+        }
+    }
+
+    /// Whether a byte offset falls inside a test-only item.
+    pub fn in_test(&self, byte: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| byte >= s && byte < e)
+    }
+}
+
+/// The whole analyzed workspace: every file plus the symbol table and
+/// call graph the workspace-level rules reason over.
+pub struct Workspace {
+    pub files: Vec<FileData>,
+    pub symbols: symbols::SymbolTable,
+    pub calls: callgraph::CallGraph,
+}
+
+impl Workspace {
+    /// Analyzes `(rel, source)` pairs into a linted workspace model.
+    pub fn analyze(sources: Vec<(String, String)>) -> Workspace {
+        let files: Vec<FileData> = sources
+            .into_iter()
+            .map(|(rel, src)| FileData::analyze(rel, src))
+            .collect();
+        let symbols = symbols::SymbolTable::build(&files);
+        let calls = callgraph::CallGraph::build(&files, &symbols);
+        Workspace {
+            files,
+            symbols,
+            calls,
+        }
+    }
+
+    /// The file with this workspace-relative path.
+    pub fn file_by_rel(&self, rel: &str) -> Option<&FileData> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+
+    /// Runs every applicable per-file and workspace rule, drops
+    /// findings in test items, applies suppression pragmas per owning
+    /// file, and returns the report.
+    pub fn lint(&self) -> Report {
+        let mut findings: Vec<Finding> = Vec::new();
+        let mut pragmas_by_file: HashMap<&str, Vec<Pragma>> = HashMap::new();
+        for file in &self.files {
+            let ctx = file.ctx();
+            let (pragmas, meta_findings) = collect_pragmas(&ctx);
+            findings.extend(meta_findings);
+            pragmas_by_file.insert(file.rel.as_str(), pragmas);
+            for meta in rules::catalog() {
+                if !(meta.applies)(&file.crate_name) {
+                    continue;
+                }
+                findings.extend((meta.check)(&ctx));
+            }
+        }
+        for meta in rules::ws_catalog() {
+            findings.extend((meta.check)(self));
+        }
+
+        // Drop findings inside test-only items of their owning file,
+        // then apply that file's suppressions.
+        findings.retain(|f| {
+            self.file_by_rel(&f.file)
+                .is_none_or(|file| !file.in_test(f.byte))
+        });
+        let before = findings.len();
+        findings.retain(|f| {
+            // The pragma meta-findings are not themselves suppressible —
+            // otherwise a malformed pragma could hide its own malformation.
+            f.rule == PRAGMA_MISSING_REASON
+                || f.rule == PRAGMA_UNKNOWN_RULE
+                || !pragmas_by_file
+                    .get(f.file.as_str())
+                    .is_some_and(|ps| ps.iter().any(|p| p.suppresses(f.rule, f.line)))
+        });
+        let suppressed = before - findings.len();
+        findings.sort_by_key(|f| (f.file.clone(), f.line, f.col));
+        Report {
+            findings,
+            files_scanned: self.files.len(),
+            suppressed,
+        }
+    }
+}
+
+/// Lints one source text under its workspace-relative path (which
+/// drives rule applicability) as a single-file workspace. Returns
+/// *unsuppressed* findings plus pragma meta-findings, sorted by
+/// position; the second value is how many findings well-formed pragmas
+/// silenced.
+pub fn lint_source(rel: &str, src: &str) -> (Vec<Finding>, usize) {
+    let ws = Workspace::analyze(vec![(rel.to_string(), src.to_string())]);
+    let report = ws.lint();
+    (report.findings, report.suppressed)
 }
 
 /// Collects pragmas from the comment tokens and emits meta-findings for
@@ -360,46 +471,47 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
     Ok(())
 }
 
-/// Lints every workspace source under `root`.
-pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
+/// Analyzes every workspace source under `root` into a [`Workspace`]
+/// (the entry point for the self-check tests and the report tooling).
+pub fn analyze_workspace(root: &Path) -> Result<Workspace, LintError> {
     let files = workspace_files(root)?;
-    let mut report = Report::default();
+    let mut sources = Vec::with_capacity(files.len());
     for path in &files {
-        let rel = rel_of(root, path);
-        lint_one(path, &rel, &mut report)?;
+        sources.push((rel_of(root, path), read_source(path)?));
     }
-    Ok(report)
+    Ok(Workspace::analyze(sources))
 }
 
-/// Lints explicit files. `rel_override`, when given, is the
-/// workspace-relative path used for rule applicability (so a fixture
-/// can be linted *as if* it lived at a governed path).
+/// Lints every workspace source under `root`.
+pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
+    Ok(analyze_workspace(root)?.lint())
+}
+
+/// Lints explicit files (together, as one workspace). `rel_override`,
+/// when given, is the workspace-relative path used for rule
+/// applicability (so a fixture can be linted *as if* it lived at a
+/// governed path).
 pub fn lint_files(
     root: &Path,
     files: &[PathBuf],
     rel_override: Option<&str>,
 ) -> Result<Report, LintError> {
-    let mut report = Report::default();
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let rel = match rel_override {
             Some(r) => r.to_string(),
             None => rel_of(root, path),
         };
-        lint_one(path, &rel, &mut report)?;
+        sources.push((rel, read_source(path)?));
     }
-    Ok(report)
+    Ok(Workspace::analyze(sources).lint())
 }
 
-fn lint_one(path: &Path, rel: &str, report: &mut Report) -> Result<(), LintError> {
-    let src = std::fs::read_to_string(path).map_err(|source| LintError::Io {
+fn read_source(path: &Path) -> Result<String, LintError> {
+    std::fs::read_to_string(path).map_err(|source| LintError::Io {
         path: path.to_path_buf(),
         source,
-    })?;
-    let (findings, suppressed) = lint_source(rel, &src);
-    report.findings.extend(findings);
-    report.suppressed += suppressed;
-    report.files_scanned += 1;
-    Ok(())
+    })
 }
 
 /// Workspace-relative `/`-separated form of `path`.

@@ -4,7 +4,7 @@
 //! (bad arguments, unreadable file, root not found).
 
 use dvicl_lint::report::Report;
-use dvicl_lint::{lint_files, lint_workspace, rules};
+use dvicl_lint::{analyze_workspace, lint_files, rules, send_safety};
 use std::path::PathBuf;
 // dvicl-lint: allow(offline-guard) -- exit-code plumbing only; the linter never spawns processes
 use std::process::ExitCode;
@@ -21,15 +21,30 @@ OPTIONS:
     --root <DIR>    Workspace root (default: autodetected)
     --as <REL>      Lint the given FILES as if they lived at this
                     workspace-relative path (fixture testing)
-    --json          Emit the report as JSON instead of text
+    --format <FMT>  Report format: human (default), json, or github
+                    (GitHub Actions ::error annotations)
+    --json          Shorthand for --format json
+    --send-safety-report <FILE>
+                    Also write the core::sub/core::arena Send-safety
+                    report (JSON, schema dvicl-send-safety-v1) to
+                    FILE; `-` writes it to stdout (the lint report
+                    then goes to stderr so stdout stays pure JSON)
     --list-rules    Print the rule catalog and exit
     -h, --help      Show this help
 ";
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Github,
+}
+
 struct Args {
     root: Option<PathBuf>,
     rel_override: Option<String>,
-    json: bool,
+    format: Format,
+    send_safety: Option<String>,
     list_rules: bool,
     files: Vec<PathBuf>,
 }
@@ -38,7 +53,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         rel_override: None,
-        json: false,
+        format: Format::Human,
+        send_safety: None,
         list_rules: false,
         files: Vec::new(),
     };
@@ -53,7 +69,22 @@ fn parse_args() -> Result<Args, String> {
                 Some(v) => args.rel_override = Some(v),
                 None => return Err("--as needs a workspace-relative path".to_string()),
             },
-            "--json" => args.json = true,
+            "--format" => match it.next().as_deref() {
+                Some("human") => args.format = Format::Human,
+                Some("json") => args.format = Format::Json,
+                Some("github") => args.format = Format::Github,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown format `{other}` (expected human, json, or github)"
+                    ))
+                }
+                None => return Err("--format needs human, json, or github".to_string()),
+            },
+            "--send-safety-report" => match it.next() {
+                Some(v) => args.send_safety = Some(v),
+                None => return Err("--send-safety-report needs a file path (or -)".to_string()),
+            },
+            "--json" => args.format = Format::Json,
             "--list-rules" => args.list_rules = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -106,6 +137,9 @@ fn main() -> ExitCode {
         for meta in rules::catalog() {
             println!("{:<18} [{}] {}", meta.id, meta.severity.as_str(), meta.summary);
         }
+        for meta in rules::ws_catalog() {
+            println!("{:<18} [{}] {}", meta.id, meta.severity.as_str(), meta.summary);
+        }
         println!(
             "{:<18} [deny] pragma without a `-- reason` tail (emitted by the engine)",
             dvicl_lint::PRAGMA_MISSING_REASON
@@ -120,22 +154,60 @@ fn main() -> ExitCode {
         eprintln!("dvicl-lint: cannot locate the workspace root; pass --root");
         return ExitCode::from(2);
     };
-    let result = if args.files.is_empty() {
-        lint_workspace(&root)
+    // The full-workspace path analyzes once and reuses the workspace
+    // for both the lint report and the Send-safety report.
+    let (report, ws): (Report, Option<dvicl_lint::Workspace>) = if args.files.is_empty() {
+        match analyze_workspace(&root) {
+            Ok(ws) => (ws.lint(), Some(ws)),
+            Err(e) => {
+                eprintln!("dvicl-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
     } else {
-        lint_files(&root, &args.files, args.rel_override.as_deref())
-    };
-    let report: Report = match result {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("dvicl-lint: {e}");
-            return ExitCode::from(2);
+        match lint_files(&root, &args.files, args.rel_override.as_deref()) {
+            Ok(r) => (r, None),
+            Err(e) => {
+                eprintln!("dvicl-lint: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
-    if args.json {
-        println!("{}", report.json());
+    if let Some(dest) = &args.send_safety {
+        let ws_owned;
+        let ws_ref = match &ws {
+            Some(w) => w,
+            None => match analyze_workspace(&root) {
+                Ok(w) => {
+                    ws_owned = w;
+                    &ws_owned
+                }
+                Err(e) => {
+                    eprintln!("dvicl-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+        };
+        let json = send_safety::report(ws_ref);
+        if dest == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(dest, json + "\n") {
+            eprintln!("dvicl-lint: cannot write {dest}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    // `--send-safety-report -` owns stdout (so it can be piped to jq);
+    // the lint report moves to stderr for that invocation.
+    let report_to_stdout = args.send_safety.as_deref() != Some("-");
+    let rendered = match args.format {
+        Format::Json => report.json() + "\n",
+        Format::Github => report.github(),
+        Format::Human => report.human(),
+    };
+    if report_to_stdout {
+        print!("{rendered}");
     } else {
-        print!("{}", report.human());
+        eprint!("{rendered}");
     }
     if report.is_clean() {
         ExitCode::SUCCESS

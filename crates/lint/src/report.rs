@@ -49,6 +49,36 @@ impl Report {
         out
     }
 
+    /// GitHub Actions workflow commands: one `::error`/`::warning`
+    /// annotation per finding, so findings surface inline on the PR
+    /// diff. The summary line goes through as a `::notice`.
+    pub fn github(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let cmd = match f.severity {
+                crate::rules::Severity::Deny => "error",
+                crate::rules::Severity::Warn => "warning",
+            };
+            let _ = writeln!(
+                out,
+                "::{cmd} file={},line={},col={},title={}::{}",
+                f.file,
+                f.line,
+                f.col,
+                f.rule,
+                gh_escape(&f.message)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "::notice title=dvicl-lint::{} finding(s), {} suppressed, {} file(s) scanned",
+            self.findings.len(),
+            self.suppressed,
+            self.files_scanned
+        );
+        out
+    }
+
     /// JSON object with a `findings` array; stable key order.
     pub fn json(&self) -> String {
         let mut out = String::from("{\"findings\":[");
@@ -76,8 +106,15 @@ impl Report {
     }
 }
 
+/// Workflow-command data escaping: `%`, CR, and LF must be
+/// percent-encoded or GitHub truncates the message at the newline.
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control bytes).
-fn json_str(s: &str) -> String {
+/// Shared with the send-safety report writer.
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -147,5 +184,23 @@ mod tests {
     #[test]
     fn clean_report_is_clean() {
         assert!(Report::default().is_clean());
+    }
+
+    #[test]
+    fn github_format_emits_workflow_commands() {
+        let mut f = sample();
+        f.message = "50% of\nthe time".into();
+        let r = Report {
+            findings: vec![f],
+            files_scanned: 1,
+            suppressed: 0,
+        };
+        let g = r.github();
+        assert!(
+            g.contains("::error file=crates/x/src/lib.rs,line=3,col=9,title=panic-freedom::"),
+            "{g}"
+        );
+        assert!(g.contains("50%25 of%0Athe time"), "{g}");
+        assert!(g.contains("::notice title=dvicl-lint::1 finding(s)"), "{g}");
     }
 }

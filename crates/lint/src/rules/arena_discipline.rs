@@ -1,0 +1,135 @@
+//! arena-discipline: the static twin of the `govern::fault`
+//! arena-discipline proptests. `SubArena` is a stack: `mark()` records
+//! the pool ceilings, carves grow them, `release(mark)` rolls them
+//! back. A path that exits a function between `mark` and `release`
+//! leaks arena space for the rest of the enclosing build — exactly the
+//! bug class that turns the upcoming per-worker arenas into a slow
+//! memory bleed under work stealing.
+//!
+//! The check runs the [`crate::dataflow`] mark/release pass over every
+//! function body that *mentions* `mark`/`release` as method calls, and
+//! reports:
+//!
+//! - `?` / `return` (and loop exits for loop-local marks) while a mark
+//!   is unreleased,
+//! - a mark still open when its scope or the body ends,
+//! - double releases and re-binds of an open mark.
+//!
+//! Functions that intentionally keep a carve alive past the return
+//! (the `try_…` caller-owns-it shape) carry a pragma stating who
+//! releases it — the audit trail stays in the source.
+
+use super::{FileCtx, Finding, Severity};
+use crate::dataflow::{self, IssueKind};
+use crate::parse::ItemKind;
+
+pub const ID: &str = "arena-discipline";
+
+/// The method pair the pass tracks.
+const OPEN: &str = "mark";
+const CLOSE: &str = "release";
+
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for item in ctx.items {
+        if item.kind != ItemKind::Fn {
+            continue;
+        }
+        let Some(body) = item.body else { continue };
+        // Fast path: skip bodies that never call the pair.
+        let mentions = (body.0..body.1).any(|cp| {
+            matches!(super::code_tok(ctx, cp, 0), Some(t)
+                if t.kind == crate::lexer::TokKind::Ident
+                    && matches!(ctx.text(t), OPEN | CLOSE))
+        });
+        if !mentions {
+            continue;
+        }
+        for issue in dataflow::scan_pairs(ctx.src, ctx.toks, ctx.code, body, OPEN, CLOSE) {
+            // Scope-end leaks anchor at the mark's binding (that is
+            // where a caller-owns-it pragma reads naturally); exits
+            // and double releases anchor at the offending token.
+            let anchor_cp = match issue.kind {
+                IssueKind::OutOfScope => issue.opened_cp,
+                _ => issue.at_cp,
+            };
+            let Some(at) = super::code_tok(ctx, anchor_cp, 0) else { continue };
+            let what = match issue.kind {
+                IssueKind::EarlyExit(exit) => format!(
+                    "`{exit}` exits `{}` while arena mark `{}` is unreleased",
+                    item.name, issue.var
+                ),
+                IssueKind::OutOfScope => format!(
+                    "arena mark `{}` in `{}` is still open when its scope ends",
+                    issue.var, item.name
+                ),
+                IssueKind::DoubleClose => format!(
+                    "arena mark `{}` in `{}` is released twice on the same path",
+                    issue.var, item.name
+                ),
+                IssueKind::ShadowedOpen => format!(
+                    "arena mark `{}` in `{}` is re-bound while still open",
+                    issue.var, item.name
+                ),
+            };
+            out.push(ctx.finding(
+                ID,
+                Severity::Deny,
+                at,
+                format!(
+                    "{what}; release it on this path or state who owns the carve in a pragma"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ID;
+    use crate::lint_source;
+
+    #[test]
+    fn early_try_exit_with_open_mark_is_flagged() {
+        let src = "
+            pub fn build(a: &mut SubArena) -> Result<usize, DviclError> {
+                let mark = a.mark();
+                let child = a.try_induced_child(0)?;
+                a.release(mark);
+                Ok(child)
+            }
+        ";
+        let (findings, _) = lint_source("crates/core/src/x.rs", src);
+        let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&ID), "{findings:?}");
+    }
+
+    #[test]
+    fn release_before_exit_is_clean() {
+        let src = "
+            pub fn build(a: &mut SubArena) -> Result<usize, DviclError> {
+                let mark = a.mark();
+                let child = a.try_induced_child(0);
+                a.release(mark);
+                Ok(child?)
+            }
+        ";
+        let (findings, _) = lint_source("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn pragma_documents_caller_owned_carves() {
+        let src = "
+            pub fn carve_for_caller(a: &mut SubArena) -> Child {
+                // dvicl-lint: allow(arena-discipline) -- the carve survives on purpose; the caller releases it
+                let mark = a.mark();
+                a.induced_child(0)
+            }
+        ";
+        let (findings, suppressed) = lint_source("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 1);
+    }
+}

@@ -27,15 +27,16 @@ pub fn check(ctx: &FileCtx) -> Vec<Finding> {
         }
         match ctx.text(tok) {
             // `Box < dyn ... Error ... >`
-            "Box" if is_punct(ctx, pos, 1, b'<') && is_ident(ctx, pos, 2, "dyn") => {
-                if generic_args_mention(ctx, pos + 1, "Error") {
-                    out.push(ctx.finding(
-                        ID,
-                        Severity::Deny,
-                        tok,
-                        "`Box<dyn Error>` erases the error class; use `DviclError`".to_string(),
-                    ));
-                }
+            "Box" if is_punct(ctx, pos, 1, b'<')
+                && is_ident(ctx, pos, 2, "dyn")
+                && generic_args_mention(ctx, pos + 1, "Error") =>
+            {
+                out.push(ctx.finding(
+                    ID,
+                    Severity::Deny,
+                    tok,
+                    "`Box<dyn Error>` erases the error class; use `DviclError`".to_string(),
+                ));
             }
             // `Result < ..., String >`
             "Result" if is_punct(ctx, pos, 1, b'<') => {
@@ -118,12 +119,10 @@ fn error_type_position(ctx: &FileCtx, open_pos: usize) -> Option<usize> {
     while let Some(tok) = code_tok(ctx, pos, 0) {
         match tok.kind {
             TokKind::Punct(b'<') => angle += 1,
-            TokKind::Punct(b'>') => {
-                if !(pos > 0 && is_punct(ctx, pos - 1, 0, b'-')) {
-                    angle -= 1;
-                    if angle == 0 {
-                        return None; // single-argument Result alias
-                    }
+            TokKind::Punct(b'>') if !(pos > 0 && is_punct(ctx, pos - 1, 0, b'-')) => {
+                angle -= 1;
+                if angle == 0 {
+                    return None; // single-argument Result alias
                 }
             }
             TokKind::Punct(b'(') | TokKind::Punct(b'[') => grouping += 1,

@@ -8,7 +8,8 @@
 
 use crate::lexer::{Tok, TokKind};
 
-pub mod budget_threading;
+pub mod arena_discipline;
+pub mod budget_reachability;
 pub mod error_taxonomy;
 pub mod fault_checkpoint_naming;
 pub mod narrowing_cast;
@@ -16,6 +17,8 @@ pub mod nested_vec_adjacency;
 pub mod obs_span_naming;
 pub mod offline_guard;
 pub mod panic_freedom;
+pub mod registry_coherence;
+pub mod shared_state_screen;
 pub mod unsafe_audit;
 
 /// How severe a finding is. Every current rule is `Deny` (the binary
@@ -74,7 +77,7 @@ pub struct RuleMeta {
 /// Everything a rule may look at for one file.
 pub struct FileCtx<'a> {
     /// Workspace-relative path, `/`-separated (also used by path-scoped
-    /// rules such as budget-threading).
+    /// rules such as nested-vec-adjacency).
     pub rel: &'a str,
     /// Crate the file belongs to (directory under `crates/`, or
     /// `"dvicl"` for the root `src/`).
@@ -90,6 +93,9 @@ pub struct FileCtx<'a> {
     /// are dropped by the engine, but rules may also consult this to
     /// avoid analyzing test-only functions.
     pub test_spans: &'a [(usize, usize)],
+    /// Parsed items (fns with body spans, impls, structs, statics, …)
+    /// — see [`crate::parse::items`].
+    pub items: &'a [crate::parse::Item],
 }
 
 impl FileCtx<'_> {
@@ -128,6 +134,15 @@ fn applies_to_library_crates(crate_name: &str) -> bool {
     !matches!(crate_name, "cli" | "bench" | "lint")
 }
 
+/// A workspace-level rule: sees the whole analyzed [`crate::Workspace`]
+/// (symbol table, call graph, every file) instead of one file.
+pub struct WsRuleMeta {
+    pub id: &'static str,
+    pub severity: Severity,
+    pub summary: &'static str,
+    pub check: fn(&crate::Workspace) -> Vec<Finding>,
+}
+
 /// The rule catalog, in reporting order.
 pub fn catalog() -> &'static [RuleMeta] {
     &[
@@ -139,11 +154,11 @@ pub fn catalog() -> &'static [RuleMeta] {
             check: panic_freedom::check,
         },
         RuleMeta {
-            id: budget_threading::ID,
+            id: arena_discipline::ID,
             severity: Severity::Deny,
-            summary: "looping/recursive functions in governed hot modules must reference the Budget/CancelToken machinery",
-            applies: applies_everywhere, // path-scoped inside the rule
-            check: budget_threading::check,
+            summary: "every path through a function pairing SubArena mark/release must release on all early exits",
+            applies: applies_everywhere,
+            check: arena_discipline::check,
         },
         RuleMeta {
             id: unsafe_audit::ID,
@@ -197,10 +212,36 @@ pub fn catalog() -> &'static [RuleMeta] {
     ]
 }
 
-/// Rule ids that pragmas may name: the catalog plus the two pragma
+/// The workspace-level rule catalog, in reporting order. These run
+/// once per lint run over the whole [`crate::Workspace`].
+pub fn ws_catalog() -> &'static [WsRuleMeta] {
+    &[
+        WsRuleMeta {
+            id: budget_reachability::ID,
+            severity: Severity::Deny,
+            summary: "looping/recursive functions in refine/canon/core must reach the Budget machinery through the call graph",
+            check: budget_reachability::check,
+        },
+        WsRuleMeta {
+            id: shared_state_screen::ID,
+            severity: Severity::Deny,
+            summary: "no static mut / Rc / RefCell / raw-pointer shared state reachable from the build/refine/canon hot path",
+            check: shared_state_screen::check,
+        },
+        WsRuleMeta {
+            id: registry_coherence::ID,
+            severity: Severity::Deny,
+            summary: "fault checkpoint sites and obs counters must stay coherent with their registries",
+            check: registry_coherence::check,
+        },
+    ]
+}
+
+/// Rule ids that pragmas may name: both catalogs plus the two pragma
 /// meta-rules emitted by the engine itself.
 pub fn known_rule_ids() -> Vec<&'static str> {
     let mut ids: Vec<&'static str> = catalog().iter().map(|m| m.id).collect();
+    ids.extend(ws_catalog().iter().map(|m| m.id));
     ids.push(crate::PRAGMA_MISSING_REASON);
     ids.push(crate::PRAGMA_UNKNOWN_RULE);
     ids

@@ -1,0 +1,456 @@
+//! registry-coherence: checkpoint sites and obs counters are
+//! *registries*, and a rename must never silently orphan them.
+//!
+//! Two cross-checks:
+//!
+//! 1. **Fault checkpoints.** Every `checkpoint("crate.place")` call
+//!    site in non-test code is extracted from source and compared
+//!    against `govern::fault::CHECKPOINT_SITES`. A site used but not
+//!    registered cannot be swept by `tests/fault_sweep.rs`; a site
+//!    registered but never reached is a fault plan aimed at nothing.
+//!    (The check only engages when a `CHECKPOINT_SITES` registry is in
+//!    the analyzed set, so single-file fixture runs of other rules are
+//!    unaffected.)
+//!
+//! 2. **Obs counters.** In the `obs` crate's counter module, the
+//!    `Counter` enum, `Counter::ALL`, the `name()` arms, and
+//!    `NUM_COUNTERS` must agree: every variant listed in `ALL` exactly
+//!    once, every variant named by a unique snake_case string, and the
+//!    count constant equal to the variant count. `ALL` with a
+//!    duplicated entry *compiles* (the array length still matches) but
+//!    silently drops a counter from every BENCH record — exactly the
+//!    rot this rule pins.
+
+use super::{Finding, Severity};
+use crate::lexer::TokKind;
+use crate::parse::{Item, ItemKind};
+use crate::{FileData, Workspace};
+
+pub const ID: &str = "registry-coherence";
+
+/// The const the fault checkpoints are registered in.
+pub const CHECKPOINT_REGISTRY: &str = "CHECKPOINT_SITES";
+
+/// One extracted checkpoint call site.
+#[derive(Clone, Debug)]
+pub struct SiteUse {
+    pub site: String,
+    /// Workspace-relative path of the using file.
+    pub rel: String,
+    pub line: u32,
+    pub col: u32,
+    pub byte: usize,
+}
+
+/// Every `checkpoint("…")` call in non-test code across the workspace,
+/// in file order. Public: the checkpoint self-check test compares this
+/// set against what the fault sweep replays.
+pub fn used_checkpoint_sites(ws: &Workspace) -> Vec<SiteUse> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        for cp in 0..file.code.len() {
+            let tok = &file.toks[file.code[cp]];
+            if tok.kind != TokKind::Ident || tok.text(&file.src) != "checkpoint" {
+                continue;
+            }
+            if !is_punct(file, cp + 1, b'(') {
+                continue;
+            }
+            let Some(&si) = file.code.get(cp + 2) else { continue };
+            let s = &file.toks[si];
+            if s.kind != TokKind::StrLit || file.in_test(tok.start) {
+                continue;
+            }
+            let Some(site) = str_lit_value(s.text(&file.src)) else { continue };
+            out.push(SiteUse {
+                site: site.to_string(),
+                rel: file.rel.clone(),
+                line: s.line,
+                col: s.col,
+                byte: s.start,
+            });
+        }
+    }
+    out
+}
+
+/// The registered checkpoint sites: string literals in the initializer
+/// of a non-test `CHECKPOINT_SITES` const/static, with the file and
+/// item that declared it. `None` when no registry is in the analyzed
+/// set.
+pub fn registered_checkpoint_sites(ws: &Workspace) -> Option<(Vec<SiteUse>, SiteUse)> {
+    for file in &ws.files {
+        for item in &file.items {
+            if item.name != CHECKPOINT_REGISTRY
+                || !matches!(item.kind, ItemKind::Const | ItemKind::Static)
+                || item.is_test
+            {
+                continue;
+            }
+            let mut entries = Vec::new();
+            let mut cp = item.sig.1;
+            // Initializer: from the `=` to the terminating `;`.
+            while let Some(&ti) = file.code.get(cp) {
+                let t = &file.toks[ti];
+                match t.kind {
+                    TokKind::Punct(b';') => break,
+                    TokKind::StrLit => {
+                        if let Some(v) = str_lit_value(t.text(&file.src)) {
+                            entries.push(SiteUse {
+                                site: v.to_string(),
+                                rel: file.rel.clone(),
+                                line: t.line,
+                                col: t.col,
+                                byte: t.start,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+                cp += 1;
+            }
+            let name_tok = &file.toks[file.code[item.name_cp]];
+            let anchor = SiteUse {
+                site: String::new(),
+                rel: file.rel.clone(),
+                line: name_tok.line,
+                col: name_tok.col,
+                byte: name_tok.start,
+            };
+            return Some((entries, anchor));
+        }
+    }
+    None
+}
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_checkpoints(ws, &mut out);
+    check_counters(ws, &mut out);
+    out
+}
+
+fn check_checkpoints(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some((registered, anchor)) = registered_checkpoint_sites(ws) else {
+        return;
+    };
+    let used = used_checkpoint_sites(ws);
+    for u in &used {
+        if !registered.iter().any(|r| r.site == u.site) {
+            out.push(at(
+                u,
+                format!(
+                    "checkpoint site \"{}\" is not in govern::fault::{CHECKPOINT_REGISTRY}; \
+                     the fault sweep cannot replay it — register it",
+                    u.site
+                ),
+            ));
+        }
+    }
+    for (i, r) in registered.iter().enumerate() {
+        if registered[..i].iter().any(|p| p.site == r.site) {
+            out.push(at(
+                r,
+                format!("checkpoint site \"{}\" is registered twice", r.site),
+            ));
+        } else if !used.iter().any(|u| u.site == r.site) {
+            out.push(at(
+                &SiteUse {
+                    site: r.site.clone(),
+                    ..anchor.clone()
+                },
+                format!(
+                    "registered checkpoint site \"{}\" is never exercised by non-test code; \
+                     a fault plan aimed at it injects nothing — remove or re-wire it",
+                    r.site
+                ),
+            ));
+        }
+    }
+}
+
+/// Counter-registry coherence inside the obs crate.
+fn check_counters(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in &ws.files {
+        if file.crate_name != "obs" {
+            continue;
+        }
+        let Some(enum_item) = file
+            .items
+            .iter()
+            .find(|i| i.kind == ItemKind::Enum && i.name == "Counter" && !i.is_test)
+        else {
+            continue;
+        };
+        let variants: Vec<&str> = enum_item.fields.iter().map(|(n, _)| n.as_str()).collect();
+        let enum_tok = &file.toks[file.code[enum_item.name_cp]];
+
+        // Counter::ALL entries.
+        if let Some(all) = find_const(file, "ALL") {
+            let entries = counter_refs(file, all.sig.1, usize::MAX, true);
+            let all_tok = &file.toks[file.code[all.name_cp]];
+            for v in &variants {
+                if !entries.iter().any(|(name, _)| name == v) {
+                    out.push(tok_finding(
+                        file,
+                        all_tok,
+                        format!("counter variant `{v}` is missing from Counter::ALL; it would \
+                                 never be reported or reset"),
+                    ));
+                }
+            }
+            for (i, (name, cp)) in entries.iter().enumerate() {
+                if entries[..i].iter().any(|(p, _)| p == name) {
+                    let t = &file.toks[file.code[*cp]];
+                    out.push(tok_finding(
+                        file,
+                        t,
+                        format!("counter `{name}` appears twice in Counter::ALL — the array \
+                                 still type-checks but a counter is silently dropped"),
+                    ));
+                }
+            }
+        }
+
+        // name() arms: Counter::X => "snake_case".
+        if let Some(name_fn) = file.items.iter().find(|i| {
+            i.kind == ItemKind::Fn
+                && i.name == "name"
+                && i.impl_type.as_deref() == Some("Counter")
+                && !i.is_test
+        }) {
+            if let Some((start, end)) = name_fn.body {
+                let arms = counter_arms(file, start, end);
+                for v in &variants {
+                    if !arms.iter().any(|(var, _, _)| var == v) {
+                        out.push(tok_finding(
+                            file,
+                            enum_tok,
+                            format!("counter variant `{v}` has no explicit arm in \
+                                     Counter::name(); every counter needs a stable \
+                                     snake_case name"),
+                        ));
+                    }
+                }
+                for (i, (var, label, cp)) in arms.iter().enumerate() {
+                    let t = &file.toks[file.code[*cp]];
+                    if !is_snake_case(label) {
+                        out.push(tok_finding(
+                            file,
+                            t,
+                            format!("counter name \"{label}\" for `{var}` is not snake_case"),
+                        ));
+                    }
+                    if arms[..i].iter().any(|(_, p, _)| p == label) {
+                        out.push(tok_finding(
+                            file,
+                            t,
+                            format!("counter name \"{label}\" is used by more than one \
+                                     variant; BENCH records would merge them"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // NUM_COUNTERS (when its initializer is a bare literal).
+        if let Some(num) = find_const(file, "NUM_COUNTERS") {
+            let cp = num.sig.1 + 1;
+            if let Some(&ti) = file.code.get(cp) {
+                let t = &file.toks[ti];
+                if t.kind == TokKind::NumLit && is_punct(file, cp + 1, b';') {
+                    let lit: usize = t.text(&file.src).replace('_', "").parse().unwrap_or(0);
+                    if lit != variants.len() {
+                        out.push(tok_finding(
+                            file,
+                            t,
+                            format!(
+                                "NUM_COUNTERS is {lit} but the Counter enum has {} variants",
+                                variants.len()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `Counter :: Ident` references in `[from, to)` code positions.
+/// `stop_at_semi` bounds the scan at the first top-level `;` (for
+/// const initializers).
+fn counter_refs(
+    file: &FileData,
+    from: usize,
+    to: usize,
+    stop_at_semi: bool,
+) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut cp = from;
+    while cp < to.min(file.code.len()) {
+        let t = &file.toks[file.code[cp]];
+        if stop_at_semi && t.kind == TokKind::Punct(b';') {
+            break;
+        }
+        if t.kind == TokKind::Ident
+            && t.text(&file.src) == "Counter"
+            && is_punct(file, cp + 1, b':')
+            && is_punct(file, cp + 2, b':')
+        {
+            if let Some(&ni) = file.code.get(cp + 3) {
+                let n = &file.toks[ni];
+                if n.kind == TokKind::Ident {
+                    out.push((n.text(&file.src).to_string(), cp + 3));
+                }
+            }
+        }
+        cp += 1;
+    }
+    out
+}
+
+/// `Counter :: Var => "label"` arms in a body range: (variant, label,
+/// label code position).
+fn counter_arms(file: &FileData, from: usize, to: usize) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    for (var, cp) in counter_refs(file, from, to, false) {
+        // cp is the variant ident; expect `=> "label"`.
+        if is_punct(file, cp + 1, b'=') && is_punct(file, cp + 2, b'>') {
+            if let Some(&li) = file.code.get(cp + 3) {
+                let l = &file.toks[li];
+                if l.kind == TokKind::StrLit {
+                    if let Some(v) = str_lit_value(l.text(&file.src)) {
+                        out.push((var, v.to_string(), cp + 3));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn find_const<'a>(file: &'a FileData, name: &str) -> Option<&'a Item> {
+    file.items
+        .iter()
+        .find(|i| i.kind == ItemKind::Const && i.name == name && !i.is_test)
+}
+
+fn is_snake_case(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// The contents of a plain or raw string literal token.
+fn str_lit_value(text: &str) -> Option<&str> {
+    let first = text.find('"')?;
+    let last = text.rfind('"')?;
+    if last > first {
+        text.get(first + 1..last)
+    } else {
+        None
+    }
+}
+
+fn is_punct(file: &FileData, cp: usize, b: u8) -> bool {
+    matches!(file.code.get(cp), Some(&i) if file.toks[i].kind == TokKind::Punct(b))
+}
+
+fn at(u: &SiteUse, message: String) -> Finding {
+    Finding {
+        rule: ID,
+        severity: Severity::Deny,
+        file: u.rel.clone(),
+        line: u.line,
+        col: u.col,
+        byte: u.byte,
+        message,
+    }
+}
+
+fn tok_finding(file: &FileData, tok: &crate::lexer::Tok, message: String) -> Finding {
+    Finding {
+        rule: ID,
+        severity: Severity::Deny,
+        file: file.rel.clone(),
+        line: tok.line,
+        col: tok.col,
+        byte: tok.start,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ID;
+    use crate::lint_source;
+
+    #[test]
+    fn matching_registry_and_usage_is_clean() {
+        let src = r#"
+            pub const CHECKPOINT_SITES: [&str; 2] = ["govern.spend", "core.ssm"];
+            pub fn spend() -> Result<(), DviclError> {
+                checkpoint("govern.spend")?;
+                checkpoint("core.ssm")
+            }
+        "#;
+        let (findings, _) = lint_source("crates/govern/src/fault.rs", src);
+        assert!(findings.iter().all(|f| f.rule != ID), "{findings:?}");
+    }
+
+    #[test]
+    fn unregistered_and_orphaned_sites_are_flagged() {
+        let src = r#"
+            pub const CHECKPOINT_SITES: [&str; 2] = ["govern.spend", "govern.orphan"];
+            pub fn spend() -> Result<(), DviclError> {
+                checkpoint("govern.spend")?;
+                checkpoint("govern.rogue")
+            }
+        "#;
+        let (findings, _) = lint_source("crates/govern/src/fault.rs", src);
+        let mine: Vec<_> = findings.iter().filter(|f| f.rule == ID).collect();
+        assert_eq!(mine.len(), 2, "{findings:?}");
+        assert!(mine.iter().any(|f| f.message.contains("govern.rogue")));
+        assert!(mine.iter().any(|f| f.message.contains("govern.orphan")));
+    }
+
+    #[test]
+    fn counter_all_duplicates_and_missing_names_are_flagged() {
+        let src = r#"
+            pub enum Counter { A, B }
+            pub const NUM_COUNTERS: usize = 2;
+            impl Counter {
+                pub const ALL: [Counter; NUM_COUNTERS] = [Counter::A, Counter::A];
+                pub fn name(self) -> &'static str {
+                    match self {
+                        Counter::A => "a_count",
+                        _ => "other",
+                    }
+                }
+            }
+        "#;
+        let (findings, _) = lint_source("crates/obs/src/counters.rs", src);
+        let mine: Vec<_> = findings.iter().filter(|f| f.rule == ID).collect();
+        // B missing from ALL, A duplicated in ALL, B missing a name arm.
+        assert_eq!(mine.len(), 3, "{findings:?}");
+    }
+
+    #[test]
+    fn coherent_counter_registry_is_clean() {
+        let src = r#"
+            pub enum Counter { A, B }
+            pub const NUM_COUNTERS: usize = 2;
+            impl Counter {
+                pub const ALL: [Counter; NUM_COUNTERS] = [Counter::A, Counter::B];
+                pub fn name(self) -> &'static str {
+                    match self {
+                        Counter::A => "a_count",
+                        Counter::B => "b_count",
+                    }
+                }
+            }
+        "#;
+        let (findings, _) = lint_source("crates/obs/src/counters.rs", src);
+        assert!(findings.iter().all(|f| f.rule != ID), "{findings:?}");
+    }
+}

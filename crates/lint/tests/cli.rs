@@ -41,7 +41,10 @@ fn workspace_is_lint_clean() {
 fn tripping_fixture_exits_nonzero() {
     for (group, rel) in [
         ("panic_freedom", "crates/core/src/fixture.rs"),
-        ("budget_threading", "crates/refine/src/partition.rs"),
+        ("budget_reachability", "crates/refine/src/partition.rs"),
+        ("arena_discipline", "crates/core/src/fixture.rs"),
+        ("shared_state_screen", "crates/core/src/build.rs"),
+        ("registry_coherence", "crates/core/src/fixture.rs"),
         ("unsafe_audit", "crates/core/src/fixture.rs"),
         ("error_taxonomy", "crates/core/src/fixture.rs"),
         ("narrowing_cast", "crates/core/src/fixture.rs"),
@@ -102,7 +105,10 @@ fn list_rules_covers_the_catalog() {
     assert!(out.status.success());
     for rule in [
         "panic-freedom",
-        "budget-threading",
+        "arena-discipline",
+        "budget-reachability",
+        "shared-state-screen",
+        "registry-coherence",
         "unsafe-audit",
         "error-taxonomy",
         "narrowing-cast",
@@ -112,6 +118,52 @@ fn list_rules_covers_the_catalog() {
     ] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }
+}
+
+#[test]
+fn github_format_emits_error_annotations() {
+    let out = bin()
+        .arg("--root")
+        .arg(workspace_root())
+        .arg("--as")
+        .arg("crates/core/src/fixture.rs")
+        .arg("--format")
+        .arg("github")
+        .arg(fixture("panic_freedom", "trip.rs"))
+        .output()
+        .expect("run dvicl-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stdout.contains("::error file=crates/core/src/fixture.rs,line="),
+        "{stdout}"
+    );
+    assert!(stdout.contains("title=panic-freedom::"), "{stdout}");
+    assert!(stdout.contains("::notice title=dvicl-lint::"), "{stdout}");
+}
+
+#[test]
+fn send_safety_report_covers_the_arena_types() {
+    let out = bin()
+        .arg("--root")
+        .arg(workspace_root())
+        .arg("--send-safety-report")
+        .arg("-")
+        .output()
+        .expect("run dvicl-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("\"schema\":\"dvicl-send-safety-v1\""), "{stdout}");
+    for ty in ["Sub", "SubCell", "Division", "ArenaMark", "SubArena"] {
+        assert!(stdout.contains(&format!("\"name\":\"{ty}\"")), "missing {ty}:\n{stdout}");
+    }
+    // The parallel-build gate: every covered type must be send-ready.
+    assert!(!stdout.contains("\"status\":\"blocked\""), "{stdout}");
+    // `-` owns stdout: the report must be pipeable JSON, with the lint
+    // summary diverted to stderr.
+    assert_eq!(stdout.trim().lines().count(), 1, "stdout must be pure JSON:\n{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("finding(s)"), "lint summary should move to stderr:\n{stderr}");
 }
 
 #[test]

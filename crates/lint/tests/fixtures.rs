@@ -18,12 +18,30 @@ fn lint_fixture(group: &str, name: &str, rel: &str) -> (Vec<&'static str>, usize
 }
 
 /// (fixture dir, rule id, rel path to lint under, findings expected in trip.rs)
-const CASES: [(&str, &str, &str, usize); 8] = [
+const CASES: [(&str, &str, &str, usize); 11] = [
     ("panic_freedom", "panic-freedom", "crates/core/src/fixture.rs", 6),
     (
-        "budget_threading",
-        "budget-threading",
+        "budget_reachability",
+        "budget-reachability",
         "crates/refine/src/partition.rs",
+        2,
+    ),
+    (
+        "arena_discipline",
+        "arena-discipline",
+        "crates/core/src/fixture.rs",
+        2,
+    ),
+    (
+        "shared_state_screen",
+        "shared-state-screen",
+        "crates/core/src/build.rs",
+        4,
+    ),
+    (
+        "registry_coherence",
+        "registry-coherence",
+        "crates/core/src/fixture.rs",
         2,
     ),
     ("unsafe_audit", "unsafe-audit", "crates/core/src/fixture.rs", 2),
@@ -74,11 +92,11 @@ fn every_clean_fixture_is_fully_clean() {
 
 #[test]
 fn clean_fixtures_record_their_suppressions() {
-    // panic_freedom, budget_threading and narrowing_cast clean fixtures
-    // each carry one well-formed pragma.
+    // These clean fixtures each carry one well-formed pragma.
     for (group, rel, want) in [
         ("panic_freedom", "crates/core/src/fixture.rs", 1),
-        ("budget_threading", "crates/refine/src/partition.rs", 1),
+        ("budget_reachability", "crates/refine/src/partition.rs", 1),
+        ("arena_discipline", "crates/core/src/fixture.rs", 1),
         ("narrowing_cast", "crates/core/src/fixture.rs", 1),
     ] {
         let (_, suppressed) = lint_fixture(group, "clean.rs", rel);
@@ -113,10 +131,22 @@ fn well_formed_pragma_fixture_is_clean() {
 }
 
 #[test]
-fn budget_fixture_is_inert_outside_governed_modules() {
-    // The same tripping source is fine in an ungoverned module.
-    let (rules, _) = lint_fixture("budget_threading", "trip.rs", "crates/apps/src/other.rs");
-    assert!(!rules.contains(&"budget-threading"), "{rules:?}");
+fn budget_fixture_is_inert_outside_governed_crates() {
+    // The same tripping source is fine in an ungoverned crate.
+    let (rules, _) = lint_fixture("budget_reachability", "trip.rs", "crates/apps/src/other.rs");
+    assert!(!rules.contains(&"budget-reachability"), "{rules:?}");
+}
+
+#[test]
+fn shared_state_fixture_is_inert_off_the_hot_path() {
+    // The Rc/raw-pointer functions are fine in a file no hot root
+    // reaches; the global statics are flagged everywhere.
+    let (rules, _) = lint_fixture("shared_state_screen", "trip.rs", "crates/apps/src/other.rs");
+    assert_eq!(
+        rules.iter().filter(|r| **r == "shared-state-screen").count(),
+        2,
+        "{rules:?}"
+    );
 }
 
 #[test]

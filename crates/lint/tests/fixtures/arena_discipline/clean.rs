@@ -1,0 +1,31 @@
+//! Clean fixture: the fallible call lands *before* the release is
+//! consulted via `?`, a loop-local pair balances every iteration, and
+//! a caller-owned carve states who releases it.
+
+pub fn balanced(a: &mut SubArena, parent: &Sub) -> Result<usize, DviclError> {
+    let mark = a.mark();
+    let child = a.try_induced_child(parent, &[0]);
+    a.release(mark);
+    Ok(child?.n())
+}
+
+pub fn per_iteration(
+    a: &mut SubArena,
+    parents: &[Sub],
+    budget: &Budget,
+) -> Result<usize, DviclError> {
+    let mut total = 0;
+    for p in parents {
+        budget.spend(1)?;
+        let mark = a.mark();
+        total += p.n();
+        a.release(mark);
+    }
+    Ok(total)
+}
+
+pub fn carve_for_caller(a: &mut SubArena, parent: &Sub) -> Sub {
+    // dvicl-lint: allow(arena-discipline) -- the carve survives on purpose; the caller releases it with its own mark
+    let mark = a.mark();
+    a.induced_child(parent, &[0])
+}

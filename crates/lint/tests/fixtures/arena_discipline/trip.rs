@@ -1,0 +1,14 @@
+//! Tripping fixture: arena mark/release pairs broken on an early-exit
+//! path and at scope end.
+
+pub fn leaky_build(a: &mut SubArena, parent: &Sub) -> Result<Sub, DviclError> {
+    let mark = a.mark();
+    let child = a.try_induced_child(parent, &[0])?; // finding: `?` exits while `mark` is open
+    a.release(mark);
+    Ok(child)
+}
+
+pub fn forgets_release(a: &mut SubArena) -> usize {
+    let mark = a.mark(); // finding: still open when the body ends
+    a.bytes_now()
+}

@@ -1,10 +1,11 @@
 //! Tripping fixture (linted as a governed module): loops and
-//! self-recursion with no reference to the budget machinery.
+//! self-recursion with no path to the budget machinery anywhere in
+//! the call graph.
 
 pub fn unmetered_scan(xs: &[u32]) -> u32 {
     let mut acc = 0;
     for &x in xs {
-        acc += x; // finding: loop, no budget
+        acc += x; // finding: loop, no budget reachable
     }
     acc
 }
@@ -13,5 +14,5 @@ pub fn unmetered_descend(depth: u32) -> u32 {
     if depth == 0 {
         return 0;
     }
-    1 + unmetered_descend(depth - 1) // finding: recursion, no budget
+    1 + unmetered_descend(depth - 1) // finding: recursion, no budget reachable
 }

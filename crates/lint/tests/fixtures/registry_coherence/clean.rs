@@ -1,0 +1,10 @@
+//! Clean fixture: every checkpoint call site appears in the registry
+//! and every registry entry is exercised by a call site.
+
+pub const CHECKPOINT_SITES: [&str; 2] = ["core.alpha", "core.beta"];
+
+pub fn run() -> Result<(), DviclError> {
+    fault::checkpoint("core.alpha")?;
+    fault::checkpoint("core.beta")?;
+    Ok(())
+}

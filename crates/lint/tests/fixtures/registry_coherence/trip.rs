@@ -1,0 +1,11 @@
+//! Tripping fixture: a checkpoint call the registry does not know, and
+//! a registry entry no call site uses.
+
+pub const CHECKPOINT_SITES: [&str; 2] = ["core.alpha", "core.orphan"];
+
+pub fn run() -> Result<(), DviclError> {
+    fault::checkpoint("core.alpha")?;
+    fault::checkpoint("core.ghost")?; // finding: used but not registered
+    Ok(())
+    // second finding: `core.orphan` is registered but never used
+}

@@ -1,0 +1,18 @@
+//! Clean fixture (linted as the hot-path root file): atomics, locks,
+//! `Arc`, and thread-local scratch are the thread-safe idioms the
+//! screen exists to push work toward.
+
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+
+static TABLE: OnceLock<Vec<u8>> = OnceLock::new();
+
+thread_local! {
+    static SCRATCH: RefCell<Vec<u8>> = RefCell::new(Vec::new());
+}
+
+pub fn build_shared(n: usize) -> usize {
+    let shared: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    TOTAL.fetch_add(1, Ordering::Relaxed);
+    drop(shared);
+    n
+}

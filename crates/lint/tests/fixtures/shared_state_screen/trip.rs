@@ -1,0 +1,16 @@
+//! Tripping fixture (linted as the hot-path root file
+//! `crates/core/src/build.rs`): process-global mutable state and
+//! `!Send` aliasing reachable from the build hot path.
+
+static mut HITS: usize = 0; // finding: static mut
+
+static CACHE: RefCell<Vec<u8>> = RefCell::new(Vec::new()); // finding: global interior mutability
+
+pub fn build_with_rc(n: usize) -> usize {
+    let shared: Rc<Vec<u8>> = Rc::new(Vec::new()); // finding: Rc on the hot path
+    shared.len() + n
+}
+
+pub fn build_with_raw(p: *const u8) -> bool {
+    !p.is_null() // finding (anchored at the `*const`): raw pointer on the hot path
+}

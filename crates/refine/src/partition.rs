@@ -47,7 +47,6 @@ fn mix(h: u64, x: u64) -> u64 {
 impl Partition {
     /// An empty partition over zero vertices: the starting state for
     /// [`Partition::reset_from_coloring`]-based reuse.
-    // dvicl-lint: allow(budget-threading) -- allocation-free constructor; the `Vec::new` calls are not recursion
     pub fn new() -> Self {
         Partition {
             lab: Vec::new(),
@@ -74,7 +73,6 @@ impl Partition {
     /// [`Partition::from_coloring`] — only the allocations differ, which
     /// is what lets the IR search refine thousands of nodes without a
     /// single per-node `Vec` allocation.
-    // dvicl-lint: allow(budget-threading) -- one-shot O(n) construction; refinement itself is metered in run()
     pub fn reset_from_coloring(&mut self, n: usize, pi: &Coloring) {
         assert_eq!(n, pi.n());
         self.lab.clear();
@@ -131,7 +129,6 @@ impl Partition {
     }
 
     /// Converts back to a [`Coloring`].
-    // dvicl-lint: allow(budget-threading) -- one-shot O(n) read-out of the final partition; refinement itself is metered in run()
     pub fn to_coloring(&self) -> Coloring {
         let n = self.n();
         let mut cells = Vec::new();
@@ -152,7 +149,6 @@ impl Partition {
         }
     }
 
-    // dvicl-lint: allow(budget-threading) -- O(#cells) seeding of the worklist; the run() loop that drains it is metered
     fn enqueue_all_cells(&mut self) {
         let n = self.n();
         let mut s = 0usize;
@@ -181,7 +177,6 @@ impl Partition {
         self.run(g, 0x5ee2_c3a1_d00d_f00d, Some(budget))
     }
 
-    // dvicl-lint: allow(budget-threading) -- O(#cells) pass recording pre-existing singletons; run() meters the refinement
     fn seed_refine(&mut self) {
         let n = self.n();
         let mut s = 0usize;
@@ -216,7 +211,7 @@ impl Partition {
         self.run(g, seed, Some(budget))
     }
 
-    // dvicl-lint: allow(budget-threading) -- O(cell length) splice of {v} to the cell front; run() meters the refinement that follows
+    // dvicl-lint: allow(budget-reachability) -- O(cell length) splice of {v} to the cell front; run() meters the refinement that follows
     fn seed_individualize(&mut self, v: V) -> u64 {
         let s = self.cell_start[v as usize];
         let len = self.cell_len[s as usize];
@@ -262,7 +257,6 @@ impl Partition {
     }
 
     /// Uses the cell at start `s` as a splitter; returns the updated trace.
-    // dvicl-lint: allow(budget-threading) -- one splitter application; run() spends one budget unit per split_by call
     fn split_by(&mut self, g: &Graph, s: u32, mut trace: u64) -> u64 {
         let len = self.cell_len[s as usize] as usize;
         let s = s as usize;
@@ -306,7 +300,6 @@ impl Partition {
 
     /// Splits the cell starting at `c` by the current `cnt` values,
     /// fragments ordered by ascending count. Enqueues all fragments.
-    // dvicl-lint: allow(budget-threading) -- helper of split_by, covered by the same one-unit-per-splitter metering in run()
     fn split_cell(&mut self, c: u32, mut trace: u64) -> u64 {
         let c = c as usize;
         let len = self.cell_len[c] as usize;
