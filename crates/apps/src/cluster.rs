@@ -71,11 +71,13 @@ pub fn try_cluster_by_symmetry<S: AsRef<[V]>>(
 mod tests {
     use super::*;
     use crate::triangles::list_triangles;
-    use dvicl_core::{build_autotree, DviclOptions};
+    use dvicl_core::Session;
     use dvicl_graph::{named, Coloring, Graph};
 
     fn setup(g: &Graph) -> (AutoTree, SsmIndex) {
-        let t = build_autotree(g, &Coloring::unit(g.n()), &DviclOptions::default());
+        // Session-built trees are byte-identical to one-shot builds, so
+        // everything downstream (keys, clusters) is unchanged.
+        let t = Session::default().build(g, &Coloring::unit(g.n()));
         let i = SsmIndex::new(&t);
         (t, i)
     }

@@ -71,11 +71,13 @@ pub fn structure_entropy(g: &Graph, tree: &AutoTree) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvicl_core::{build_autotree, DviclOptions};
+    use dvicl_core::Session;
     use dvicl_graph::{named, Coloring};
 
     fn tree_of(g: &Graph) -> AutoTree {
-        build_autotree(g, &Coloring::unit(g.n()), &DviclOptions::default())
+        // A fresh session per tree matches the one-shot build exactly;
+        // the apps layer consumes trees from either source unchanged.
+        Session::default().build(g, &Coloring::unit(g.n()))
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! singletons, which is what makes DivideI/DivideS effective.
 
 use dvicl_bench::suite::{self, print_header, print_row, Recorder};
-use dvicl_core::{aut, DviclOptions};
+use dvicl_core::{aut, DviclOptions, Session};
 
 #[global_allocator]
 static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
@@ -13,6 +13,9 @@ static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
 fn main() {
     suite::init_obs();
     let mut rec = Recorder::new("table1");
+    // One session for the whole suite: arena pools and the
+    // CombineCL memo are reused across every graph below.
+    let mut session = Session::new(DviclOptions::default());
     let widths = [16, 9, 10, 7, 7, 9, 10];
     println!("Table 1: summarization of real-graph analogs");
     print_header(
@@ -21,7 +24,7 @@ fn main() {
     );
     for d in dvicl_data::social_suite() {
         let g = (d.build)();
-        let (run, tree) = suite::build_tree(&g, &DviclOptions::default());
+        let (run, tree) = suite::build_tree(&mut session, &g);
         rec.record(d.name, "dvicl", &run);
         let (cells, singletons) = match tree {
             Some(tree) => {

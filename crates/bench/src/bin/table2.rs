@@ -6,7 +6,7 @@
 
 use dvicl_bench::suite::{self, print_header, print_row, Recorder};
 use dvicl_canon::Config;
-use dvicl_core::{aut, DviclOptions};
+use dvicl_core::aut;
 
 #[global_allocator]
 static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
@@ -14,6 +14,10 @@ static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
 fn main() {
     suite::init_obs();
     let mut rec = Recorder::new("table2");
+    // The traces-like engine is the robust one on the regular
+    // benchmark families (cf. Table 8); one session reuses its
+    // arena pools and CombineCL memo across the whole suite.
+    let mut session = suite::dvicl_session(&Config::traces_like());
     let widths = [16, 9, 10, 7, 7, 9, 10];
     println!("Table 2: summarization of benchmark graphs");
     print_header(
@@ -22,13 +26,7 @@ fn main() {
     );
     for d in dvicl_data::benchmark_suite() {
         let g = (d.build)();
-        // The traces-like engine is the robust one on the regular
-        // benchmark families (cf. Table 8), so it labels the leaves here.
-        let opts = DviclOptions {
-            leaf_config: Config::traces_like(),
-            ..DviclOptions::default()
-        };
-        let (run, tree) = suite::build_tree(&g, &opts);
+        let (run, tree) = suite::build_tree(&mut session, &g);
         rec.record(d.name, "dvicl+traces", &run);
         let (cells, singletons) = match tree {
             Some(tree) => {

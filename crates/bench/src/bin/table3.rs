@@ -7,7 +7,7 @@
 //! (3) AutoTrees are shallow.
 
 use dvicl_bench::suite::{self, print_header, print_row, Recorder};
-use dvicl_core::DviclOptions;
+use dvicl_core::{DviclOptions, Session};
 
 #[global_allocator]
 static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
@@ -15,6 +15,9 @@ static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
 fn main() {
     suite::init_obs();
     let mut rec = Recorder::new("table3");
+    // One session for the whole suite: arena pools and the
+    // CombineCL memo are reused across every graph below.
+    let mut session = Session::new(DviclOptions::default());
     let widths = [16, 10, 11, 14, 9, 6];
     println!("Table 3: AutoTree structure on real-graph analogs");
     print_header(
@@ -23,7 +26,7 @@ fn main() {
     );
     for d in dvicl_data::social_suite() {
         let g = (d.build)();
-        let (run, tree) = suite::build_tree(&g, &DviclOptions::default());
+        let (run, tree) = suite::build_tree(&mut session, &g);
         rec.record(d.name, "dvicl", &run);
         let cols = match tree {
             Some(tree) => {

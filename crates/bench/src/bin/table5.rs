@@ -8,7 +8,7 @@
 //! the same time and memory (the AutoTree dominates, the leaf labeler is
 //! marginal).
 
-use dvicl_bench::suite::{self, engines, print_header, print_row, run_baseline, run_dvicl, Recorder};
+use dvicl_bench::suite::{self, engines, print_header, print_row, run_baseline, Recorder};
 
 #[global_allocator]
 static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
@@ -16,6 +16,11 @@ static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
 fn main() {
     suite::init_obs();
     let mut rec = Recorder::new("table5");
+    // One DviCL+X session per engine, reused across the suite.
+    let mut sessions: Vec<_> = engines()
+        .into_iter()
+        .map(|(name, config)| (name, suite::dvicl_session(&config), config))
+        .collect();
     let widths = [16, 8, 9, 9, 10, 8, 9, 9, 10, 8, 9, 9, 10];
     println!(
         "Table 5: performance on real-graph analogs (budget per baseline run: {:?})",
@@ -31,12 +36,12 @@ fn main() {
     for d in dvicl_data::social_suite() {
         let g = (d.build)();
         let mut cols = vec![d.name.to_string()];
-        for (name, config) in engines() {
-            let base = run_baseline(&g, &config);
+        for (name, session, config) in &mut sessions {
+            let base = run_baseline(&g, config);
             rec.record(d.name, name, &base);
             cols.push(base.fmt_time());
             cols.push(base.fmt_mem());
-            let (dv, _) = run_dvicl(&g, &config);
+            let (dv, _) = suite::build_tree(session, &g);
             rec.record(d.name, &format!("dvicl+{name}"), &dv);
             cols.push(dv.fmt_time());
             cols.push(dv.fmt_mem());

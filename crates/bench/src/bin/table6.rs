@@ -10,7 +10,7 @@
 use dvicl_apps::im::{select_seeds, IcConfig};
 use dvicl_bench::suite::{self, print_header, print_row, Recorder};
 use dvicl_core::ssm::{try_count_images, SsmIndex};
-use dvicl_core::DviclOptions;
+use dvicl_core::{DviclOptions, Session};
 use dvicl_govern::Budget;
 
 #[global_allocator]
@@ -19,6 +19,9 @@ static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
 fn main() {
     suite::init_obs();
     let mut rec = Recorder::new("table6");
+    // One session for the whole suite: arena pools and the
+    // CombineCL memo are reused across every graph below.
+    let mut session = Session::new(DviclOptions::default());
     let widths = [16, 14, 9, 14, 9];
     println!("Table 6: SSM on seed sets S selected by influence maximization");
     print_header(
@@ -35,7 +38,7 @@ fn main() {
     };
     for d in dvicl_data::social_suite() {
         let g = (d.build)();
-        let (build_run, tree) = suite::build_tree(&g, &DviclOptions::default());
+        let (build_run, tree) = suite::build_tree(&mut session, &g);
         rec.record(d.name, "dvicl", &build_run);
         let Some(tree) = tree else {
             print_row(

@@ -11,7 +11,7 @@ use dvicl_apps::cluster::cluster_by_symmetry;
 use dvicl_apps::triangles::list_triangles;
 use dvicl_bench::suite::{self, print_header, print_row, Recorder};
 use dvicl_core::ssm::SsmIndex;
-use dvicl_core::DviclOptions;
+use dvicl_core::{DviclOptions, Session};
 
 #[global_allocator]
 static ALLOC: dvicl_bench::alloc::Meter = dvicl_bench::alloc::Meter;
@@ -22,6 +22,9 @@ const TRIANGLE_LIMIT: usize = 200_000;
 fn main() {
     suite::init_obs();
     let mut rec = Recorder::new("table7");
+    // One session for the whole suite: arena pools and the
+    // CombineCL memo are reused across every graph below.
+    let mut session = Session::new(DviclOptions::default());
     let widths = [16, 9, 9, 6, 10, 10, 8];
     println!("Table 7: subgraph clustering by SSM (maximum cliques | triangles)");
     print_header(
@@ -30,7 +33,7 @@ fn main() {
     );
     for d in dvicl_data::social_suite() {
         let g = (d.build)();
-        let (build_run, tree) = suite::build_tree(&g, &DviclOptions::default());
+        let (build_run, tree) = suite::build_tree(&mut session, &g);
         rec.record(d.name, "dvicl", &build_run);
         let Some(tree) = tree else {
             let mut cols = vec![d.name.to_string()];

@@ -6,9 +6,16 @@
 //! `govern::Budget` everywhere, never by a binary-private timer), and
 //! appends machine-readable rows to a [`Recorder`], which writes the
 //! `BENCH_<table>.json` document described in DESIGN.md §9.
+//!
+//! Builds go through a caller-owned [`Session`] ([`dvicl_session`] pins
+//! one to an engine config): a table binary that labels its whole suite
+//! reuses one session's arena pools and `CombineCL` memo across every
+//! graph, exactly like the `dvicl batch` service. Certificates are
+//! byte-identical to one-shot builds — reuse changes where the working
+//! memory comes from, never the result.
 
 use dvicl_canon::{try_canonical_form, Config};
-use dvicl_core::{try_build_autotree, AutoTree, DviclOptions};
+use dvicl_core::{AutoTree, DviclOptions, Session};
 use dvicl_govern::Budget;
 use dvicl_graph::{Coloring, Graph};
 use dvicl_obs::{self as obs, JsonArr, JsonObj, Snapshot, Value};
@@ -156,12 +163,21 @@ pub fn run_baseline(g: &Graph, config: &Config) -> Run {
     measure(|| try_canonical_form(g, &Coloring::unit(g.n()), config, &limits).ok()).0
 }
 
+/// A session for `DviCL+X` runs: AutoTree construction with `X` as the
+/// leaf labeler. Hold it across a whole suite so arena pools and the
+/// `CombineCL` memo amortize over every graph.
+pub fn dvicl_session(config: &Config) -> Session {
+    Session::new(DviclOptions {
+        leaf_config: config.clone(),
+        ..DviclOptions::default()
+    })
+}
+
 /// Budgeted AutoTree construction. Every table binary builds its trees
-/// through here (directly, or via [`run_dvicl`]) so that
-/// `DVICL_BUDGET_SECS` is honored uniformly through `govern::Budget` —
-/// a graph the budget cannot cover yields `None` and `-` table cells
-/// instead of an unbounded build.
-pub fn build_tree(g: &Graph, opts: &DviclOptions) -> (Run, Option<AutoTree>) {
+/// through here so that `DVICL_BUDGET_SECS` is honored uniformly through
+/// `govern::Budget` — a graph the budget cannot cover yields `None` and
+/// `-` table cells instead of an unbounded build.
+pub fn build_tree(session: &mut Session, g: &Graph) -> (Run, Option<AutoTree>) {
     let limits = Budget::with_deadline(budget());
     // Open-coded `measure` so that under `--paranoid` the witness checks
     // land inside the wall clock (overhead is the number being measured)
@@ -171,7 +187,7 @@ pub fn build_tree(g: &Graph, opts: &DviclOptions) -> (Run, Option<AutoTree>) {
     let before_bytes = crate::alloc::live_bytes();
     let before = obs::snapshot();
     let t0 = Instant::now();
-    let tree = try_build_autotree(g, &Coloring::unit(g.n()), opts, &limits).ok();
+    let tree = session.try_build(g, &Coloring::unit(g.n()), &limits).ok();
     let peak_bytes = crate::alloc::peak_bytes().saturating_sub(before_bytes);
     if let (Some(t), true) = (&tree, paranoid()) {
         if let Err(e) = dvicl_core::verify::verify_tree(g, t) {
@@ -186,17 +202,6 @@ pub fn build_tree(g: &Graph, opts: &DviclOptions) -> (Run, Option<AutoTree>) {
         counters: obs::snapshot().diff(&before),
     };
     (run, tree)
-}
-
-/// Runs `DviCL+X` (AutoTree construction with `X` as the leaf labeler),
-/// under the same per-run budget as the baselines (a benchmark graph can
-/// be one huge leaf).
-pub fn run_dvicl(g: &Graph, config: &Config) -> (Run, Option<AutoTree>) {
-    let opts = DviclOptions {
-        leaf_config: config.clone(),
-        ..DviclOptions::default()
-    };
-    build_tree(g, &opts)
 }
 
 /// Accumulates one table's machine-readable benchmark records and
@@ -332,10 +337,32 @@ mod tests {
         for (_, config) in engines() {
             let base = run_baseline(&g, &config);
             assert!(base.secs.is_some(), "tiny graph must finish");
-            let (run, tree) = run_dvicl(&g, &config);
+            let mut session = dvicl_session(&config);
+            let (run, tree) = build_tree(&mut session, &g);
             assert!(run.secs.is_some());
             assert_eq!(tree.expect("built").stats().total_nodes, 7);
         }
+    }
+
+    #[test]
+    fn session_reuse_keeps_certificates_stable() {
+        let _serial = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // The whole point of threading a Session through the tables:
+        // later builds reuse arenas/memo yet certify identically.
+        let mut session = dvicl_session(&Config::traces_like());
+        let graphs = [
+            dvicl_graph::named::petersen(),
+            dvicl_graph::named::fig1_example(),
+            dvicl_graph::named::petersen(),
+        ];
+        let mut forms = Vec::new();
+        for g in &graphs {
+            let (_, tree) = build_tree(&mut session, g);
+            forms.push(tree.expect("built").canonical_form().to_form());
+        }
+        assert_eq!(forms[0], forms[2]);
+        assert_ne!(forms[0], forms[1]);
+        assert_eq!(session.builds(), 3);
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl TargetCell {
 
 /// Engine configuration: the knobs the paper attributes to the three
 /// baseline tools.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` exists so state keyed to a configuration (the
+/// `core::Session` CombineCL memo) can detect a configuration change
+/// and invalidate itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Config {
     /// Target cell selector.
     pub target_cell: TargetCell,

@@ -11,6 +11,8 @@
 //! dvicl quotient <GRAPH>            symmetry quotient + structure entropy
 //! dvicl dataset <NAME>              emit a suite dataset as an edge list
 //! dvicl convert <GRAPH>             edge list <-> graph6
+//! dvicl batch  [QUERIES]            drain insert/lookup/groupsize queries
+//! dvicl serve                       the same protocol, interactive
 //! ```
 //!
 //! `<GRAPH>` is an edge-list file path, `-` for stdin (readable at most
@@ -34,6 +36,15 @@
 //! mapping) and exits 4 on a witness failure. `--fault-plan <SPEC>` (or
 //! the `DVICL_FAULT_PLAN` environment variable) installs a deterministic
 //! fault-injection plan, e.g. `trip@core.build_node:3`.
+//!
+//! Corpus service ([`batch`]): `batch` and `serve` answer
+//! `insert`/`lookup`/`groupsize` queries against a canonical-fingerprint
+//! index (`--index`/`--save` persist it as `DVIX1`), canonicalizing each
+//! query once through a reusable session; `--req-timeout` and
+//! `--req-max-nodes` cap every request with its own budget, and a failed
+//! request answers `error: ...` inline instead of ending the service.
+
+mod batch;
 
 use dvicl_core::ssm::{try_count_images, try_enumerate_images, SsmIndex};
 use dvicl_core::{aut, build_autotree_resilient, iso, ksym, AutoTree, DviclOptions};
@@ -155,7 +166,7 @@ impl ObsConfig {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  dvicl canon    <GRAPH>\n  dvicl aut      <GRAPH>\n  dvicl iso      <GRAPH> <GRAPH>\n  dvicl tree     <GRAPH> [--render]\n  dvicl ssm      <GRAPH> <v,v,...> [--limit N]\n  dvicl ksym     <GRAPH> <k>\n  dvicl quotient <GRAPH>\n  dvicl dataset  <NAME>\n  dvicl convert  <GRAPH>\n\nGRAPH: edge-list path, '-' for stdin (at most once), or g6:<graph6-literal>\n\nglobal flags (any subcommand):\n  --timeout <DUR>      wall-clock budget (100ms, 5s, 2m, ...)\n  --max-nodes <N>      work budget in search/build nodes\n  --stats              counter + phase-time report on stderr\n  --trace-json <PATH>  NDJSON events + summary to PATH\n  --paranoid           re-check every result against its witness\n  --fault-plan <SPEC>  deterministic fault injection (see DESIGN.md §11)\n\nexit codes: 0 ok, 2 bad input, 3 budget exceeded, 4 witness check failed"
+    "usage:\n  dvicl canon    <GRAPH>\n  dvicl aut      <GRAPH>\n  dvicl iso      <GRAPH> <GRAPH>\n  dvicl tree     <GRAPH> [--render]\n  dvicl ssm      <GRAPH> <v,v,...> [--limit N]\n  dvicl ksym     <GRAPH> <k>\n  dvicl quotient <GRAPH>\n  dvicl dataset  <NAME>\n  dvicl convert  <GRAPH>\n  dvicl batch    [--index P] [--save P] [--req-timeout D] [--req-max-nodes N] [QUERIES]\n  dvicl serve    [--index P] [--save P] [--req-timeout D] [--req-max-nodes N]\n\nGRAPH: edge-list path, '-' for stdin (at most once), or g6:<graph6-literal>\nQUERIES: lines of `insert|lookup|groupsize g6:<literal>|el:u-v,u-v,...`\n\nglobal flags (any subcommand):\n  --timeout <DUR>      wall-clock budget (100ms, 5s, 2m, ...)\n  --max-nodes <N>      work budget in search/build nodes\n  --stats              counter + phase-time report on stderr\n  --trace-json <PATH>  NDJSON events + summary to PATH\n  --paranoid           re-check every result against its witness\n  --fault-plan <SPEC>  deterministic fault injection (see DESIGN.md §11)\n\nexit codes: 0 ok, 2 bad input, 3 budget exceeded, 4 witness check failed"
 }
 
 /// A CLI failure: either a usage mistake (print the help text, exit 2)
@@ -232,6 +243,8 @@ fn run(args: &[String], budget: &Budget) -> Result<(), CliError> {
         "quotient" => quotient_cmd(ld, arg(args, 1)?, budget),
         "dataset" => dataset(arg(args, 1)?),
         "convert" => convert(ld, arg(args, 1)?, budget),
+        "batch" => batch::batch(&args[1..]),
+        "serve" => batch::serve(&args[1..]),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
 }

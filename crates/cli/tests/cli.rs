@@ -288,3 +288,183 @@ fn quotient_of_petersen_collapses() {
     assert!(stdout.contains("quotient: n = 1, m = 0"));
     assert!(stdout.contains("entropy = 0.0000"));
 }
+
+/// Runs the binary with `input` piped to stdin; returns stdout, stderr
+/// and the exit code.
+fn dvicl_stdin(args: &[&str], input: &str) -> (String, String, Option<i32>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dvicl"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    // A process that fails before reading stdin (e.g. an unusable
+    // --index file) closes the pipe early; that is the scenario under
+    // test, not a harness error.
+    let _ = child.stdin.as_mut().unwrap().write_all(input.as_bytes());
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+/// A scratch path that is removed when the value drops.
+struct TempPath(std::path::PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> TempPath {
+        TempPath(std::env::temp_dir().join(format!("dvicl-cli-{tag}-{}", std::process::id())))
+    }
+
+    fn as_str(&self) -> &str {
+        self.0.to_str().unwrap()
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+#[test]
+fn batch_protocol_answers_inserts_and_lookups() {
+    // Petersen twice (one g6:, one as an inline edge list of the
+    // isomorphic Kneser construction is overkill — relabeled g6 works),
+    // a pentagon, and queries against both.
+    let queries = "\
+# corpus
+insert g6:IheA@GUAo
+insert el:0-1,1-2,2-3,3-4,4-0
+
+lookup el:1-2,2-3,3-4,4-5,5-1
+insert g6:IheA@GUAo
+groupsize g6:IheA@GUAo
+lookup el:0-1
+";
+    let (stdout, stderr, code) = dvicl_stdin(&["batch"], queries);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines,
+        [
+            "insert: class=0 members=1 fresh",
+            "insert: class=1 members=1 fresh",
+            "lookup: class=1 members=1",
+            "insert: class=0 members=2 known",
+            "groupsize: 2",
+            "lookup: not-indexed",
+        ],
+        "stdout: {stdout}"
+    );
+    assert!(
+        stderr.contains("served 6 requests (0 errors); index: 2 classes, 3 members"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn batch_request_errors_stay_inline() {
+    // Malformed specs and unknown commands answer `error:` lines and
+    // the stream keeps going with exit 0.
+    let queries = "\
+insert el:0-x
+frobnicate g6:C~
+insert nope
+insert g6:C~ extra
+lookup g6:C~
+";
+    let (stdout, stderr, code) = dvicl_stdin(&["batch"], queries);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "stdout: {stdout}");
+    for line in &lines[..4] {
+        assert!(line.starts_with("error: "), "got: {line}");
+    }
+    assert_eq!(lines[4], "lookup: not-indexed");
+    assert!(stderr.contains("(4 errors)"), "stderr: {stderr}");
+}
+
+#[test]
+fn batch_per_request_budget_trips_inline() {
+    // Three work units cannot canonicalize Petersen, but the tripped
+    // request must not take the service down: the pentagon after it
+    // still gets a real answer.
+    let queries = "\
+insert g6:IheA@GUAo
+insert el:0-1,1-2,2-3,3-4,4-0
+";
+    let (stdout, stderr, code) = dvicl_stdin(&["batch", "--req-max-nodes", "40"], queries);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "stdout: {stdout}");
+    assert!(
+        lines[0].starts_with("error: ") && lines[0].contains("budget"),
+        "got: {}",
+        lines[0]
+    );
+    assert_eq!(lines[1], "insert: class=0 members=1 fresh");
+}
+
+#[test]
+fn batch_saves_an_index_that_serve_reloads() {
+    let path = TempPath::new("roundtrip");
+    let (_, stderr, code) = dvicl_stdin(
+        &["batch", "--save", path.as_str()],
+        "insert g6:IheA@GUAo\ninsert g6:IheA@GUAo\ninsert el:0-1,1-2,2-0\n",
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    // `serve` flushes per response and stops at `quit`; --paranoid makes
+    // the load re-derive every stored fingerprint.
+    let (stdout, stderr, code) = dvicl_stdin(
+        &["serve", "--index", path.as_str(), "--paranoid"],
+        "groupsize g6:IheA@GUAo\nlookup el:0-1,1-2,2-0\nquit\nlookup g6:C~\n",
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines,
+        ["groupsize: 2", "lookup: class=1 members=1"],
+        "lines after quit must not be answered; stdout: {stdout}"
+    );
+}
+
+#[test]
+fn batch_rejects_a_corrupt_index_file() {
+    let path = TempPath::new("corrupt");
+    std::fs::write(&path.0, b"not a DVIX1 file at all").unwrap();
+    let (_, stderr, code) = dvicl_stdin(&["batch", "--index", path.as_str()], "lookup g6:C~\n");
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+}
+
+#[test]
+fn batch_fault_injection_covers_the_index_checkpoints() {
+    // An injected fault at index.insert is a per-request error: the
+    // service answers it inline and keeps going.
+    let (stdout, stderr, code) = dvicl_stdin(
+        &["batch", "--fault-plan", "trip@index.insert:2"],
+        "insert g6:C~\ninsert g6:C~\ninsert g6:C~\n",
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "insert: class=0 members=1 fresh");
+    assert!(lines[1].starts_with("error: "), "got: {}", lines[1]);
+    assert_eq!(lines[2], "insert: class=0 members=2 known");
+
+    // At index.load the index is unusable: a process-level typed exit.
+    let path = TempPath::new("faultload");
+    let (_, _, code) = dvicl_stdin(
+        &["batch", "--save", path.as_str()],
+        "insert g6:C~\n",
+    );
+    assert_eq!(code, Some(0));
+    let (_, stderr, code) = dvicl_stdin(
+        &["batch", "--index", path.as_str(), "--fault-plan", "trip@index.load:1"],
+        "lookup g6:C~\n",
+    );
+    assert_eq!(code, Some(3), "stderr: {stderr}");
+}

@@ -180,6 +180,20 @@ impl SubArena {
         self.reuses
     }
 
+    /// Empties the arena for a fresh build while keeping every buffer's
+    /// capacity — the reuse primitive behind `core::Session`. The
+    /// high-water mark and reuse count restart at zero so the
+    /// `sub_bytes_peak` / `arena_reuses` counters keep their per-build
+    /// meaning when one arena serves many builds; the ceiling is kept
+    /// (it is configured per build by the builder anyway).
+    pub fn reset(&mut self) {
+        self.verts.clear();
+        self.offs.clear();
+        self.adj.clear();
+        self.bytes_peak = 0;
+        self.reuses = 0;
+    }
+
     fn note_high_water(&mut self) {
         let bytes =
             (self.verts.len() + self.offs.len() + self.adj.len()) * std::mem::size_of::<u32>();

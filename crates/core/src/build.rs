@@ -79,6 +79,18 @@ pub fn try_build_autotree(
     opts: &DviclOptions,
     budget: &Budget,
 ) -> Result<AutoTree, DviclError> {
+    try_build_autotree_in(&mut Scratch::new(), g, pi0, opts, budget)
+}
+
+/// [`try_build_autotree`] against caller-owned [`Scratch`] — the entry
+/// point `core::Session` reuses arenas and the CombineCL memo through.
+pub(crate) fn try_build_autotree_in(
+    scratch: &mut Scratch,
+    g: &Graph,
+    pi0: &Coloring,
+    opts: &DviclOptions,
+    budget: &Budget,
+) -> Result<AutoTree, DviclError> {
     if g.n() != pi0.n() {
         return Err(DviclError::invalid(format!(
             "graph has {} vertices but the coloring covers {}",
@@ -88,7 +100,7 @@ pub fn try_build_autotree(
     }
     budget.check()?;
     let pi = try_refine(g, pi0, budget)?.coloring;
-    run_build(g, pi, opts, budget, false)
+    run_build(scratch, g, pi, opts, budget, false)
 }
 
 /// A built AutoTree together with how it was obtained.
@@ -116,7 +128,18 @@ pub fn build_autotree_resilient(
     opts: &DviclOptions,
     budget: &Budget,
 ) -> Result<BuildOutcome, DviclError> {
-    match try_build_autotree(g, pi0, opts, budget) {
+    build_autotree_resilient_in(&mut Scratch::new(), g, pi0, opts, budget)
+}
+
+/// [`build_autotree_resilient`] against caller-owned [`Scratch`].
+pub(crate) fn build_autotree_resilient_in(
+    scratch: &mut Scratch,
+    g: &Graph,
+    pi0: &Coloring,
+    opts: &DviclOptions,
+    budget: &Budget,
+) -> Result<BuildOutcome, DviclError> {
+    match try_build_autotree_in(scratch, g, pi0, opts, budget) {
         Ok(tree) => Ok(BuildOutcome {
             tree,
             degraded: false,
@@ -125,7 +148,13 @@ pub fn build_autotree_resilient(
             resource: Resource::WorkUnits,
             ..
         }) => {
-            let tree = build_autotree_whole_leaf(g, pi0, opts, &budget.without_work_limit())?;
+            let tree = build_autotree_whole_leaf_in(
+                scratch,
+                g,
+                pi0,
+                opts,
+                &budget.without_work_limit(),
+            )?;
             Ok(BuildOutcome {
                 tree,
                 degraded: true,
@@ -147,6 +176,17 @@ pub fn build_autotree_whole_leaf(
     opts: &DviclOptions,
     budget: &Budget,
 ) -> Result<AutoTree, DviclError> {
+    build_autotree_whole_leaf_in(&mut Scratch::new(), g, pi0, opts, budget)
+}
+
+/// [`build_autotree_whole_leaf`] against caller-owned [`Scratch`].
+pub(crate) fn build_autotree_whole_leaf_in(
+    scratch: &mut Scratch,
+    g: &Graph,
+    pi0: &Coloring,
+    opts: &DviclOptions,
+    budget: &Budget,
+) -> Result<AutoTree, DviclError> {
     if g.n() != pi0.n() {
         return Err(DviclError::invalid(format!(
             "graph has {} vertices but the coloring covers {}",
@@ -156,10 +196,11 @@ pub fn build_autotree_whole_leaf(
     }
     budget.check()?;
     let pi = try_refine(g, pi0, budget)?.coloring;
-    run_build(g, pi, opts, budget, true)
+    run_build(scratch, g, pi, opts, budget, true)
 }
 
 fn run_build(
+    scratch: &mut Scratch,
     g: &Graph,
     pi: Coloring,
     opts: &DviclOptions,
@@ -167,6 +208,13 @@ fn run_build(
     force_leaf: bool,
 ) -> Result<AutoTree, DviclError> {
     let _span = obs::span("core.build");
+    // One build = one arena epoch: empty segments (buffers keep their
+    // capacity from earlier builds) and fresh peak/reuse stats, so the
+    // `sub_bytes_peak` / `arena_reuses` counters below stay per-build
+    // even when one Scratch serves a whole session. The CombineCL memo
+    // deliberately survives — its keys are pure functions of the leaf
+    // input, so symmetric leaves *across graphs* hit it too.
+    scratch.arena.reset();
     let mut b = Builder {
         t: AutoTree {
             pi,
@@ -184,11 +232,9 @@ fn run_build(
         opts,
         budget,
         force_leaf,
-        arena: SubArena::new(),
-        cl_cache: FxHashMap::default(),
-        key_scratch: Vec::new(),
+        scratch,
     };
-    b.arena.set_ceiling_bytes(opts.arena_ceiling_bytes);
+    b.scratch.arena.set_ceiling_bytes(opts.arena_ceiling_bytes);
     if g.n() == 0 {
         b.t.nodes.push(Node {
             verts: EMPTY,
@@ -215,11 +261,11 @@ fn run_build(
     b.t.form_edges.reserve(g.m() + g.n());
     b.t.children.reserve(g.n() + 16);
     let root = {
-        let whole = b.arena.whole(g);
+        let whole = b.scratch.arena.whole(g);
         b.build(whole, 0, NO_PARENT)?
     };
-    obs::add(Counter::SubBytesPeak, b.arena.bytes_peak() as u64);
-    obs::add(Counter::ArenaReuses, b.arena.reuses());
+    obs::add(Counter::SubBytesPeak, b.scratch.arena.bytes_peak() as u64);
+    obs::add(Counter::ArenaReuses, b.scratch.arena.reuses());
     b.t.root = root;
     Ok(b.t)
 }
@@ -235,6 +281,47 @@ fn push_range<T: Copy>(pool: &mut Vec<T>, items: &[T]) -> PoolRange {
 
 /// `CombineCL` memo value: the IR labeling and its generators.
 type ClEntry = (Perm, Vec<Perm>);
+
+/// The reusable working state of a build, separable from the tree it
+/// produces: the subgraph arena, the `CombineCL` memo, and the memo's
+/// encode buffer. One-shot entry points ([`try_build_autotree`] and
+/// friends) create a transient `Scratch` per call; `core::Session` owns
+/// one across many builds so arena capacity and memoized leaf labelings
+/// amortize over a whole corpus.
+///
+/// Soundness of cross-build memo reuse: a memo key encodes *exactly*
+/// the input the IR engine sees (injectively — see `combine_cl`), so a
+/// hit returns the same labeling the engine would recompute. The one
+/// implicit key component is the engine configuration; the session
+/// clears the memo when its `leaf_config` changes.
+pub(crate) struct Scratch {
+    /// Flat CSR storage for every working subgraph of a recursion.
+    pub(crate) arena: SubArena,
+    /// `CombineCL` memo (see `Builder::combine_cl`).
+    pub(crate) cl_cache: FxHashMap<Vec<u8>, ClEntry>,
+    /// Reused encode buffer for memo probes: allocation-free on hits.
+    pub(crate) key_scratch: Vec<u8>,
+}
+
+impl Scratch {
+    pub(crate) fn new() -> Scratch {
+        Scratch {
+            arena: SubArena::new(),
+            cl_cache: FxHashMap::default(),
+            key_scratch: Vec::new(),
+        }
+    }
+
+    /// Drops every memoized `CombineCL` labeling (configuration change).
+    pub(crate) fn clear_memo(&mut self) {
+        self.cl_cache.clear();
+    }
+
+    /// Number of memoized `CombineCL` labelings currently held.
+    pub(crate) fn memo_len(&self) -> usize {
+        self.cl_cache.len()
+    }
+}
 
 /// Appends `x` as a LEB128-style varint. Each field is self-delimiting,
 /// so a sequence of varints is a prefix code: two encoded keys are equal
@@ -262,19 +349,16 @@ struct Builder<'a> {
     /// Degraded mode: skip every divide rule so the root becomes a
     /// single whole-graph IR leaf.
     force_leaf: bool,
-    /// Flat CSR storage for every working subgraph of the recursion,
-    /// stack-disciplined: a child's segment is released (and its buffer
-    /// space reused) as soon as its subtree has combined.
-    arena: SubArena,
-    /// `CombineCL` memo: symmetric sibling leaves (equal local edges and
-    /// global colors) share one IR labeling instead of re-searching. The
-    /// key is an *injective* varint encoding of exactly the data the IR
-    /// engine sees — `(n, colors, m, edges)` — so equal keys mean equal
-    /// inputs (never a lossy hash), yet a leaf costs ~2 bytes per edge
-    /// instead of a cloned `(Vec<V>, Vec<(V, V)>)`.
-    cl_cache: FxHashMap<Vec<u8>, ClEntry>,
-    /// Reused encode buffer for memo probes: allocation-free on hits.
-    key_scratch: Vec<u8>,
+    /// The borrowed working state: the stack-disciplined subgraph arena
+    /// (a child's segment is released, and its buffer space reused, as
+    /// soon as its subtree has combined) and the `CombineCL` memo —
+    /// symmetric sibling leaves (equal local edges and global colors)
+    /// share one IR labeling instead of re-searching. The memo key is an
+    /// *injective* varint encoding of exactly the data the IR engine
+    /// sees — `(n, colors, m, edges)` — so equal keys mean equal inputs
+    /// (never a lossy hash), yet a leaf costs ~2 bytes per edge instead
+    /// of a cloned `(Vec<V>, Vec<(V, V)>)`.
+    scratch: &'a mut Scratch,
 }
 
 impl<'a> Builder<'a> {
@@ -283,7 +367,7 @@ impl<'a> Builder<'a> {
         dvicl_govern::fault::checkpoint("core.build_node")?;
         self.budget.spend(1)?;
         let id = self.t.nodes.len();
-        let vrange = push_range(&mut self.t.verts, self.arena.verts(&sub));
+        let vrange = push_range(&mut self.t.verts, self.scratch.arena.verts(&sub));
         // Labels are written at combine time; keep the pool parallel.
         self.t.labels.resize(self.t.verts.len(), 0);
         self.t.nodes.push(Node {
@@ -300,7 +384,7 @@ impl<'a> Builder<'a> {
 
         // Base case: a one-vertex subgraph (Algorithm 1 lines 7–8).
         if sub.n() == 1 {
-            let color = self.t.pi.color_of(self.arena.verts(&sub)[0]);
+            let color = self.t.pi.color_of(self.scratch.arena.verts(&sub)[0]);
             self.t.labels[vrange.0 as usize] = color;
             // The paper's singleton certificate C({v}) = (π(v), π(v)).
             let fcolors = push_range(&mut self.t.form_colors, &[(color, 1)]);
@@ -317,12 +401,13 @@ impl<'a> Builder<'a> {
             None
         } else {
             let _span = obs::span("core.divide");
-            self.arena
+            self.scratch
+                .arena
                 .divide_components(&sub)
-                .or_else(|| self.arena.divide_i(&sub, &self.t.pi))
+                .or_else(|| self.scratch.arena.divide_i(&sub, &self.t.pi))
                 .or_else(|| {
                     if self.opts.use_divide_s {
-                        self.arena.divide_s(&sub, &self.t.pi)
+                        self.scratch.arena.divide_s(&sub, &self.t.pi)
                     } else {
                         None
                     }
@@ -344,11 +429,11 @@ impl<'a> Builder<'a> {
                 // dvicl-lint: allow(narrowing-cast) -- id < node count <= n·depth, far below u32::MAX
                 let parent_id = id as u32;
                 for i in 0..d.len() {
-                    let mark = self.arena.mark();
+                    let mark = self.scratch.arena.mark();
                     let cid = dvicl_govern::fault::checkpoint("core.arena_carve")
-                        .and_then(|()| self.arena.try_induced_child(&sub, d.part(i)))
+                        .and_then(|()| self.scratch.arena.try_induced_child(&sub, d.part(i)))
                         .and_then(|child| self.build(child, depth + 1, parent_id));
-                    self.arena.release(mark);
+                    self.scratch.arena.release(mark);
                     children.push(cid?);
                 }
                 self.combine_st(id, &sub, children);
@@ -364,8 +449,9 @@ impl<'a> Builder<'a> {
     fn combine_cl(&mut self, id: NodeId, sub: &Sub) -> Result<(), DviclError> {
         let _span = obs::span("core.leaf_ir");
         dvicl_govern::fault::checkpoint("core.leaf_ir")?;
-        let (local_g, local_pi) = self.arena.to_local_graph(sub, &self.t.pi);
+        let (local_g, local_pi) = self.scratch.arena.to_local_graph(sub, &self.t.pi);
         let colors: Vec<V> = self
+            .scratch
             .arena
             .verts(sub)
             .iter()
@@ -378,7 +464,7 @@ impl<'a> Builder<'a> {
         // colors, varint(m), then the edges in CSR order with the source
         // delta-coded — injective (see `push_varint`), so key equality is
         // input equality and a collision cannot corrupt certificates.
-        let mut key = std::mem::take(&mut self.key_scratch);
+        let mut key = std::mem::take(&mut self.scratch.key_scratch);
         key.clear();
         push_varint(&mut key, sub.n() as u64);
         for &c in &colors {
@@ -391,7 +477,7 @@ impl<'a> Builder<'a> {
             push_varint(&mut key, v as u64);
             prev_u = u as u64;
         }
-        let (labeling, generators) = match self.cl_cache.get(key.as_slice()) {
+        let (labeling, generators) = match self.scratch.cl_cache.get(key.as_slice()) {
             Some((labeling, generators)) => {
                 obs::bump(Counter::CacheClHits);
                 (labeling.clone(), generators.clone())
@@ -400,14 +486,14 @@ impl<'a> Builder<'a> {
                 obs::bump(Counter::CacheClMisses);
                 let res =
                     ir_try_canonical_form(&local_g, &local_pi, &self.opts.leaf_config, self.budget)?;
-                self.cl_cache
+                self.scratch.cl_cache
                     .insert(key.clone(), (res.labeling.clone(), res.generators.clone()));
                 (res.labeling, res.generators)
             }
         };
-        self.key_scratch = key;
+        self.scratch.key_scratch = key;
         let mut labels = vec![0 as V; sub.n()];
-        for cell in self.arena.cells(sub, &self.t.pi) {
+        for cell in self.scratch.arena.cells(sub, &self.t.pi) {
             let mut members = cell.members;
             members.sort_unstable_by_key(|&i| labeling.apply(i));
             for (rank, &i) in members.iter().enumerate() {
@@ -417,7 +503,7 @@ impl<'a> Builder<'a> {
         let form = CanonForm::new(&local_g, &colors, &labels);
         let fcolors = push_range(&mut self.t.form_colors, &form.colors);
         let fedges = push_range(&mut self.t.form_edges, &form.edges);
-        let verts = self.arena.verts(sub);
+        let verts = self.scratch.arena.verts(sub);
         // dvicl-lint: allow(narrowing-cast) -- gen_ranges grows by one entry per generator, far below u32::MAX
         let gstart = self.t.gen_ranges.len() as u32;
         for gen in &generators {
@@ -475,9 +561,9 @@ impl<'a> Builder<'a> {
             }
         }
         // Lines 2–5: rank within each cell of π_g.
-        let verts = self.arena.verts(sub);
+        let verts = self.scratch.arena.verts(sub);
         let mut labels = vec![0 as V; sub.n()];
-        for cell in self.arena.cells(sub, &self.t.pi) {
+        for cell in self.scratch.arena.cells(sub, &self.t.pi) {
             let mut members = cell.members;
             members.sort_unstable_by_key(|&i| key[&verts[i as usize]]);
             for (rank, &i) in members.iter().enumerate() {
@@ -486,7 +572,7 @@ impl<'a> Builder<'a> {
         }
         // Line 6: C(g, π_g) = (g, π_g)^{γ_g} over the *induced* subgraph
         // (including any edges the divide rules deleted).
-        let (local_g, _) = self.arena.to_local_graph(sub, &self.t.pi);
+        let (local_g, _) = self.scratch.arena.to_local_graph(sub, &self.t.pi);
         let colors: Vec<V> = verts.iter().map(|&v| self.t.pi.color_of(v)).collect();
         let form = CanonForm::new(&local_g, &colors, &labels);
         let fcolors = push_range(&mut self.t.form_colors, &form.colors);

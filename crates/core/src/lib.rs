@@ -21,6 +21,10 @@
 //! * [`verify`] — witness checking: near-linear runtime proofs that the
 //!   labelings, generators and iso mappings above actually hold on the
 //!   input graph (the `--paranoid` machinery, DESIGN.md §11).
+//! * [`Session`] — a reusable build context (arena pools + `CombineCL`
+//!   memo) that amortizes working memory and memoized leaf labelings
+//!   across many graphs, the substrate of the `dvicl-index` batch
+//!   isomorphism service.
 //! * convenience wrappers: [`canonical_form`], [`are_isomorphic`].
 
 #![warn(missing_docs)]
@@ -30,6 +34,7 @@ pub mod aut;
 mod build;
 pub mod iso;
 pub mod ksym;
+mod session;
 pub mod simplify;
 pub mod sm;
 pub mod ssm;
@@ -42,6 +47,7 @@ pub use build::{
     BuildOutcome, DviclOptions,
 };
 pub use arena::{ArenaMark, SubArena};
+pub use session::Session;
 pub use sub::{Division, Sub, SubCell};
 pub use tree::{AutoTree, Node, NodeId, NodeKind, NodeRef, TreeStats};
 

@@ -260,7 +260,7 @@ pub fn hit_counts() -> Vec<(&'static str, u64)> {
 /// `checkpoint_registry` integration test asserts the fault sweep
 /// replays exactly this set. Adding a checkpoint without registering
 /// it here (or vice versa) fails CI.
-pub const CHECKPOINT_SITES: [&str; 10] = [
+pub const CHECKPOINT_SITES: [&str; 12] = [
     "canon.dfs",
     "core.arena_carve",
     "core.build_node",
@@ -269,6 +269,8 @@ pub const CHECKPOINT_SITES: [&str; 10] = [
     "govern.spend",
     "graph.edge_line",
     "graph.graph6",
+    "index.insert",
+    "index.load",
     "refine.individualize",
     "refine.refine",
 ];

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 mod coloring;
+mod fingerprint;
 mod form;
 mod graph;
 pub mod graph6;
@@ -32,6 +33,7 @@ pub mod named;
 mod perm;
 
 pub use coloring::Coloring;
+pub use fingerprint::Fingerprint;
 pub use form::{CanonForm, FormRef};
 pub use graph::{Graph, GraphBuilder};
 pub use perm::Perm;

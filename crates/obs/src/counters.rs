@@ -59,10 +59,23 @@ pub enum Counter {
     VerifyFailures,
     /// Faults injected by an installed `govern::FaultPlan`.
     FaultInjections,
+    /// Fingerprint-index probes: every `insert`/`lookup`/`groupsize`
+    /// that consulted the fingerprint map (`dvicl-index`).
+    IndexProbes,
+    /// Index probes whose fingerprint bucket held an exact
+    /// stored-form match (`dvicl-index`).
+    IndexHits,
+    /// Index probes that compared against a stored form with the same
+    /// fingerprint and found it *unequal* — the 2⁻¹²⁸ hash-collision
+    /// path, resolved by the exact check (`dvicl-index`).
+    IndexCollisions,
+    /// Builds served by a `core::Session` that reused its arena pools
+    /// and CombineCL memo from an earlier build (`core::Session`).
+    SessionArenaReuses,
 }
 
 /// How many counters exist (the length of [`Counter::ALL`]).
-pub const NUM_COUNTERS: usize = 20;
+pub const NUM_COUNTERS: usize = 24;
 
 impl Counter {
     /// Every counter, in reporting order.
@@ -87,6 +100,10 @@ impl Counter {
         Counter::VerifyChecks,
         Counter::VerifyFailures,
         Counter::FaultInjections,
+        Counter::IndexProbes,
+        Counter::IndexHits,
+        Counter::IndexCollisions,
+        Counter::SessionArenaReuses,
     ];
 
     /// The counter's stable snake_case name, as it appears in
@@ -117,6 +134,10 @@ impl Counter {
             Counter::VerifyChecks => "verify_checks",
             Counter::VerifyFailures => "verify_failures",
             Counter::FaultInjections => "fault_injections",
+            Counter::IndexProbes => "index_probes",
+            Counter::IndexHits => "index_hits",
+            Counter::IndexCollisions => "index_collisions",
+            Counter::SessionArenaReuses => "session_arena_reuses",
         }
     }
 }

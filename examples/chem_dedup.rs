@@ -1,13 +1,21 @@
 //! Database indexing / deduplication (application (a) of the paper's
 //! introduction): assign every graph in a collection a certificate so
 //! that two graphs are isomorphic iff their certificates are equal, then
-//! deduplicate a collection of randomly relabeled "molecules".
+//! deduplicate a collection of randomly relabeled "molecules" through
+//! the canonical-fingerprint index.
+//!
+//! One [`dvicl::core::Session`] canonicalizes the whole collection
+//! (arena pools and the `CombineCL` memo are reused across graphs — the
+//! repeated fragments of a molecule library are exactly what the memo
+//! feeds on), and a [`dvicl::index::FingerprintIndex`] groups the
+//! certificates: one insert per graph, isomorphic graphs land in one
+//! class, and the class member counts are the duplicate counts.
 //!
 //! Run with `cargo run --release --example chem_dedup`.
 
-use dvicl::core::canonical_form;
-use dvicl::graph::{named, CanonForm, Graph, Perm, V};
-use std::collections::HashMap;
+use dvicl::core::Session;
+use dvicl::graph::{named, Graph, Perm, V};
+use dvicl::index::FingerprintIndex;
 
 /// A tiny "molecular skeleton" library: distinct small graphs.
 fn library() -> Vec<(&'static str, Graph)> {
@@ -48,24 +56,39 @@ fn main() {
     }
     println!("collection: {} graphs", collection.len());
 
-    // Index by certificate.
-    let mut index: HashMap<CanonForm, Vec<String>> = HashMap::new();
+    // One session, one index: each graph costs one canonicalization and
+    // one fingerprint probe, however large the collection grows.
+    let mut session = Session::default();
+    let mut index = FingerprintIndex::new();
+    let mut names_by_class: Vec<Vec<String>> = Vec::new();
     for (name, g) in &collection {
-        index.entry(canonical_form(g)).or_default().push(name.clone());
+        let (fp, form) = session.fingerprinted_form(g);
+        let out = index.insert(fp, form, false).expect("insert");
+        if out.fresh {
+            names_by_class.push(Vec::new());
+        }
+        names_by_class[out.class].push(name.clone());
     }
-    println!("distinct certificates: {}", index.len());
-    let mut groups: Vec<Vec<String>> = index.into_values().collect();
+    println!(
+        "distinct certificates: {} (from {} canonicalizations)",
+        index.len(),
+        session.builds()
+    );
+    let mut groups = names_by_class.clone();
     groups.sort();
     for group in groups {
         println!("  {:?}", group);
     }
+
+    // Every class's members really are isomorphic: a fresh lookup of any
+    // member by fingerprint + stored-form confirmation finds its class.
+    let (fp, form) = session.fingerprinted_form(&collection[0].1);
+    assert_eq!(index.lookup(fp, &form), Some(0));
     assert_eq!(
         library().len(),
-        collection
-            .iter()
-            .map(|(_, g)| canonical_form(g))
-            .collect::<std::collections::HashSet<_>>()
-            .len()
+        index.len(),
+        "deduplication must recover exactly the library skeletons"
     );
+    assert_eq!(index.members_total(), collection.len() as u64);
     println!("deduplication recovered exactly the {} library skeletons", library().len());
 }

@@ -15,6 +15,7 @@
 //! * [`group`] — orbits, Schreier–Sims, big integers.
 //! * [`canon`] — the IR baseline (nauty/bliss/traces stand-ins).
 //! * [`core`] — DviCL, AutoTree, SSM, k-symmetry, twin simplification.
+//! * [`index`] — the canonical-fingerprint index behind `dvicl batch`.
 //! * [`apps`] — influence maximization, max clique, triangles, clustering.
 //! * [`data`] — the deterministic evaluation dataset suite.
 //!
@@ -45,4 +46,5 @@ pub use dvicl_data as data;
 pub use dvicl_govern as govern;
 pub use dvicl_graph as graph;
 pub use dvicl_group as group;
+pub use dvicl_index as index;
 pub use dvicl_refine as refine;

@@ -13,7 +13,8 @@
 //!    pipeline is driven end to end: edge-list parsing, graph6
 //!    decoding, a divided AutoTree build (which exercises refinement,
 //!    individualization, arena carves, leaf IR, DFS search, and the
-//!    budget), and a symmetric-subgraph-matching query.
+//!    budget), a symmetric-subgraph-matching query, and a fingerprint
+//!    index insert + DVIX1 round trip.
 //!
 //! If someone adds a checkpoint without registering it, view 2 drifts
 //! from view 1 (also a lint failure). If a registered site becomes
@@ -24,7 +25,8 @@
 use dvicl::core::ssm::{symmetric_key, SsmIndex};
 use dvicl::core::{build_autotree, DviclOptions};
 use dvicl::govern::fault::{self, FaultPlan, CHECKPOINT_SITES};
-use dvicl::graph::{graph6, io, Coloring};
+use dvicl::graph::{graph6, io, Coloring, Fingerprint};
+use dvicl::index::FingerprintIndex;
 use std::collections::BTreeSet;
 
 #[test]
@@ -93,6 +95,17 @@ fn registry_analyzer_and_probe_agree() {
         .expect("parse cycle edge list")
         .graph;
     let _cycle_tree = build_autotree(&cycle, &Coloring::unit(cycle.n()), &DviclOptions::default());
+
+    // index.insert + index.load: ingest a certificate into a
+    // fingerprint index and round-trip it through the DVIX1 format.
+    let form = tree.canonical_form().to_form();
+    let mut fpi = FingerprintIndex::new();
+    fpi.insert(Fingerprint::of_form(&form), form, true)
+        .expect("insert certificate");
+    let mut saved = Vec::new();
+    fpi.save_to(&mut saved).expect("serialize index");
+    let loaded = FingerprintIndex::load_from(&mut saved.as_slice(), true).expect("reload index");
+    assert_eq!(loaded.len(), fpi.len());
 
     let hits = fault::hit_counts();
     fault::clear();
