@@ -32,6 +32,18 @@ pub fn paranoid() -> bool {
     PARANOID.load(Ordering::Relaxed)
 }
 
+/// The `--threads` / `DVICL_THREADS` selection for every DviCL build in
+/// this benchmark process (default 1; `0` = all cores). Baseline engines
+/// ignore it — only AutoTree construction parallelizes — and the
+/// certificates are byte-identical at any width, so the columns stay
+/// comparable across widths.
+static THREADS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
+
+/// The build width requested for this benchmark process.
+pub fn threads() -> usize {
+    THREADS.load(Ordering::Relaxed)
+}
+
 /// The three baseline engines of the paper's evaluation and their
 /// `DviCL+X` counterparts. The names mirror the paper's columns; see
 /// `dvicl-canon` for what each configuration stands in for.
@@ -54,10 +66,12 @@ pub fn budget() -> Duration {
     Duration::from_secs(secs)
 }
 
-/// Parses the observability flags shared by every table binary
-/// (`--stats`, `--trace-json <path>`) and installs the matching sink.
-/// Call first in `main`; [`Recorder::write`] flushes the sink at the
-/// end via `dvicl_obs::finish`.
+/// Parses the flags shared by every table binary (`--stats`,
+/// `--paranoid`, `--threads <N>`, `--trace-json <path>`) and installs
+/// the matching sink. `DVICL_PARANOID` / `DVICL_THREADS` are the
+/// environment equivalents (a flag wins over its variable). Call first
+/// in `main`; [`Recorder::write`] flushes the sink at the end via
+/// `dvicl_obs::finish`.
 pub fn init_obs() {
     let args: Vec<String> = std::env::args().collect();
     let mut stats = false;
@@ -65,11 +79,28 @@ pub fn init_obs() {
     if std::env::var("DVICL_PARANOID").map(|v| !v.is_empty() && v != "0") == Ok(true) {
         PARANOID.store(true, Ordering::Relaxed);
     }
+    if let Ok(v) = std::env::var("DVICL_THREADS") {
+        match v.parse::<usize>() {
+            Ok(n) => THREADS.store(n, Ordering::Relaxed),
+            Err(_) => {
+                eprintln!("DVICL_THREADS: not a count: {v:?}");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--stats" => stats = true,
             "--paranoid" => PARANOID.store(true, Ordering::Relaxed),
+            "--threads" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--threads requires a count (0 = all cores)");
+                    std::process::exit(2);
+                };
+                THREADS.store(n, Ordering::Relaxed);
+                i += 1;
+            }
             "--trace-json" => {
                 let Some(p) = args.get(i + 1) else {
                     eprintln!("--trace-json requires a path");
@@ -80,7 +111,8 @@ pub fn init_obs() {
             }
             other => {
                 eprintln!(
-                    "unknown flag {other} (expected --stats, --paranoid or --trace-json <path>)"
+                    "unknown flag {other} (expected --stats, --paranoid, --threads <N> \
+                     or --trace-json <path>)"
                 );
                 std::process::exit(2);
             }
@@ -169,6 +201,7 @@ pub fn run_baseline(g: &Graph, config: &Config) -> Run {
 pub fn dvicl_session(config: &Config) -> Session {
     Session::new(DviclOptions {
         leaf_config: config.clone(),
+        threads: threads(),
         ..DviclOptions::default()
     })
 }

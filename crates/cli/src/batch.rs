@@ -113,9 +113,11 @@ impl Service {
             None => FingerprintIndex::new(),
         };
         // traces-like leaves: the same robust configuration the other
-        // subcommands build with.
+        // subcommands build with; the global `--threads` width applies
+        // to every request's build.
         let session = Session::new(DviclOptions {
             leaf_config: dvicl_canon::Config::traces_like(),
+            threads: crate::threads(),
             ..DviclOptions::default()
         });
         Ok(Service {

@@ -20,7 +20,10 @@
 //!
 //! Every subcommand accepts `--timeout <DUR>` (e.g. `100ms`, `5s`, `2m`)
 //! and `--max-nodes <N>`, which govern the whole run under one shared
-//! budget. Exit codes: 0 success, 2 bad input or usage, 3 budget
+//! budget, and `--threads <N>`, which widens tree builds over a scoped
+//! work-stealing pool (default 1; `0` = all cores; results are
+//! byte-identical at any width). Exit codes: 0 success, 2 bad input or
+//! usage, 3 budget
 //! exceeded. When `--max-nodes` stops the divide-and-conquer build, the
 //! run degrades to whole-graph labeling (still correct, noted on stderr)
 //! instead of failing.
@@ -61,6 +64,17 @@ static PARANOID: AtomicBool = AtomicBool::new(false);
 
 fn paranoid() -> bool {
     PARANOID.load(Ordering::Relaxed)
+}
+
+/// The `--threads` selection (default 1; `0` means all available
+/// parallelism). Like [`PARANOID`], a process-wide value: every build in
+/// the process — one-shot subcommands and the batch/serve session alike
+/// — runs at the same width, and the certificates are byte-identical at
+/// any width.
+static THREADS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
+
+fn threads() -> usize {
+    THREADS.load(Ordering::Relaxed)
 }
 
 /// Writes a line to stdout, exiting quietly with status 0 when the
@@ -166,7 +180,7 @@ impl ObsConfig {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  dvicl canon    <GRAPH>\n  dvicl aut      <GRAPH>\n  dvicl iso      <GRAPH> <GRAPH>\n  dvicl tree     <GRAPH> [--render]\n  dvicl ssm      <GRAPH> <v,v,...> [--limit N]\n  dvicl ksym     <GRAPH> <k>\n  dvicl quotient <GRAPH>\n  dvicl dataset  <NAME>\n  dvicl convert  <GRAPH>\n  dvicl batch    [--index P] [--save P] [--req-timeout D] [--req-max-nodes N] [QUERIES]\n  dvicl serve    [--index P] [--save P] [--req-timeout D] [--req-max-nodes N]\n\nGRAPH: edge-list path, '-' for stdin (at most once), or g6:<graph6-literal>\nQUERIES: lines of `insert|lookup|groupsize g6:<literal>|el:u-v,u-v,...`\n\nglobal flags (any subcommand):\n  --timeout <DUR>      wall-clock budget (100ms, 5s, 2m, ...)\n  --max-nodes <N>      work budget in search/build nodes\n  --stats              counter + phase-time report on stderr\n  --trace-json <PATH>  NDJSON events + summary to PATH\n  --paranoid           re-check every result against its witness\n  --fault-plan <SPEC>  deterministic fault injection (see DESIGN.md §11)\n\nexit codes: 0 ok, 2 bad input, 3 budget exceeded, 4 witness check failed"
+    "usage:\n  dvicl canon    <GRAPH>\n  dvicl aut      <GRAPH>\n  dvicl iso      <GRAPH> <GRAPH>\n  dvicl tree     <GRAPH> [--render]\n  dvicl ssm      <GRAPH> <v,v,...> [--limit N]\n  dvicl ksym     <GRAPH> <k>\n  dvicl quotient <GRAPH>\n  dvicl dataset  <NAME>\n  dvicl convert  <GRAPH>\n  dvicl batch    [--index P] [--save P] [--req-timeout D] [--req-max-nodes N] [QUERIES]\n  dvicl serve    [--index P] [--save P] [--req-timeout D] [--req-max-nodes N]\n\nGRAPH: edge-list path, '-' for stdin (at most once), or g6:<graph6-literal>\nQUERIES: lines of `insert|lookup|groupsize g6:<literal>|el:u-v,u-v,...`\n\nglobal flags (any subcommand):\n  --timeout <DUR>      wall-clock budget (100ms, 5s, 2m, ...)\n  --max-nodes <N>      work budget in search/build nodes\n  --threads <N>        worker threads for tree builds (default 1, 0 = all cores)\n  --stats              counter + phase-time report on stderr\n  --trace-json <PATH>  NDJSON events + summary to PATH\n  --paranoid           re-check every result against its witness\n  --fault-plan <SPEC>  deterministic fault injection (see DESIGN.md §11)\n\nexit codes: 0 ok, 2 bad input, 3 budget exceeded, 4 witness check failed"
 }
 
 /// A CLI failure: either a usage mistake (print the help text, exit 2)
@@ -209,6 +223,15 @@ fn global_flags(args: Vec<String>) -> Result<(Vec<String>, Budget, ObsConfig), D
             }
             "--stats" => obs_cfg.stats = true,
             "--paranoid" => PARANOID.store(true, Ordering::Relaxed),
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| DviclError::invalid("--threads needs a count (0 = all cores)"))?;
+                let n = v.parse::<usize>().map_err(|_| {
+                    DviclError::invalid(format!("--threads: not a count: {v:?}"))
+                })?;
+                THREADS.store(n, Ordering::Relaxed);
+            }
             "--fault-plan" => {
                 let v = it
                     .next()
@@ -310,8 +333,11 @@ fn load_text(text: &str) -> Result<Graph, DviclError> {
 
 fn build(g: &Graph, budget: &Budget) -> Result<AutoTree, DviclError> {
     // traces-like leaves: the robust configuration on regular graphs.
+    // `--threads` only changes wall-clock time: the parallel build's
+    // deterministic merge keeps the tree byte-identical (DESIGN.md §14).
     let opts = DviclOptions {
         leaf_config: dvicl_canon::Config::traces_like(),
+        threads: threads(),
         ..DviclOptions::default()
     };
     let outcome = build_autotree_resilient(g, &Coloring::unit(g.n()), &opts, budget)?;

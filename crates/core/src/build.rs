@@ -3,11 +3,11 @@
 //! (Algorithm 5).
 
 use crate::arena::SubArena;
-use crate::sub::Sub;
+use crate::sub::{Division, Sub};
 use crate::tree::{AutoTree, Node, NodeId, NodeKind, PoolRange, EMPTY, NO_PARENT};
 use dvicl_canon::{try_canonical_form as ir_try_canonical_form, Config};
 use dvicl_govern::{Budget, DviclError, Resource};
-use dvicl_graph::{CanonForm, Coloring, Graph, Perm, V};
+use dvicl_graph::{CanonForm, Coloring, FormRef, Graph, Perm, V};
 use dvicl_obs::{self as obs, Counter};
 use dvicl_refine::try_refine;
 use rustc_hash::FxHashMap;
@@ -29,7 +29,16 @@ pub struct DviclOptions {
     /// `BudgetExceeded { resource: Memory }` (arena rolled back) — this
     /// does **not** trigger the work-cap degradation path, because the
     /// whole-graph fallback needs *more* arena than the divided build.
+    /// In a parallel build every worker arena gets the same ceiling
+    /// (the ceiling bounds each arena, not their sum).
     pub arena_ceiling_bytes: Option<usize>,
+    /// Worker threads for the build: `1` (the default) is the plain
+    /// sequential recursion, `0` means "use the machine's available
+    /// parallelism", and `N > 1` builds sibling subtrees concurrently
+    /// on a work-stealing pool (`dvicl-pool`). The resulting AutoTree
+    /// is byte-identical at every thread count — see DESIGN.md §14 for
+    /// the deterministic-merge argument.
+    pub threads: usize,
 }
 
 impl Default for DviclOptions {
@@ -38,6 +47,18 @@ impl Default for DviclOptions {
             leaf_config: Config::bliss_like(),
             use_divide_s: true,
             arena_ceiling_bytes: None,
+            threads: 1,
+        }
+    }
+}
+
+impl DviclOptions {
+    /// The concrete worker count `threads` resolves to: `0` becomes the
+    /// machine's available parallelism, anything else is taken as-is.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
         }
     }
 }
@@ -215,28 +236,10 @@ fn run_build(
     // deliberately survives — its keys are pure functions of the leaf
     // input, so symmetric leaves *across graphs* hit it too.
     scratch.arena.reset();
-    let mut b = Builder {
-        t: AutoTree {
-            pi,
-            nodes: Vec::new(),
-            root: 0,
-            verts: Vec::new(),
-            labels: Vec::new(),
-            form_colors: Vec::new(),
-            form_edges: Vec::new(),
-            children: Vec::new(),
-            classes: Vec::new(),
-            gen_ranges: Vec::new(),
-            gen_pairs: Vec::new(),
-        },
-        opts,
-        budget,
-        force_leaf,
-        scratch,
-    };
-    b.scratch.arena.set_ceiling_bytes(opts.arena_ceiling_bytes);
+    scratch.arena.set_ceiling_bytes(opts.arena_ceiling_bytes);
     if g.n() == 0 {
-        b.t.nodes.push(Node {
+        let mut t = TreePools::default();
+        t.nodes.push(Node {
             verts: EMPTY,
             fcolors: EMPTY,
             fedges: EMPTY,
@@ -247,27 +250,95 @@ fn run_build(
             depth: 0,
             parent: NO_PARENT,
         });
-        return Ok(b.t);
+        return Ok(t.into_tree(pi, 0));
     }
     // Pre-size the pools from the empirical shape of DviCL trees (about
     // one node per vertex, about 3n pooled vertex entries): a tree of
     // tens of thousands of nodes then fills them without doubling
     // spikes, which is where the naive growth schedule pays 1.5× the
     // final footprint in transient peak.
-    b.t.nodes.reserve(g.n() + 16);
-    b.t.verts.reserve(3 * g.n());
-    b.t.labels.reserve(3 * g.n());
-    b.t.form_colors.reserve(2 * g.n());
-    b.t.form_edges.reserve(g.m() + g.n());
-    b.t.children.reserve(g.n() + 16);
-    let root = {
-        let whole = b.scratch.arena.whole(g);
-        b.build(whole, 0, NO_PARENT)?
+    let mut pools = TreePools::default();
+    pools.nodes.reserve(g.n() + 16);
+    pools.verts.reserve(3 * g.n());
+    pools.labels.reserve(3 * g.n());
+    pools.form_colors.reserve(2 * g.n());
+    pools.form_edges.reserve(g.m() + g.n());
+    pools.children.reserve(g.n() + 16);
+
+    // A part can only be spawned at SPAWN_MIN_VERTS vertices, and parts
+    // are vertex-disjoint subsets of `g` — so a graph below the
+    // threshold can never produce a single pool job, and entering the
+    // parallel scope would pay thread spawns for nothing. Corpus
+    // workloads over small graphs (the batch service) hit this on every
+    // build.
+    let threads = if g.n() < SPAWN_MIN_VERTS {
+        1
+    } else {
+        opts.effective_threads()
     };
-    obs::add(Counter::SubBytesPeak, b.scratch.arena.bytes_peak() as u64);
-    obs::add(Counter::ArenaReuses, b.scratch.arena.reuses());
-    b.t.root = root;
-    Ok(b.t)
+    if threads <= 1 {
+        let mut b = Builder {
+            t: pools,
+            pi: &pi,
+            opts,
+            budget,
+            force_leaf,
+            scratch,
+            par: None,
+        };
+        let whole = b.scratch.arena.whole(g);
+        let root = b.build(whole, 0, NO_PARENT)?;
+        obs::add(Counter::SubBytesPeak, b.scratch.arena.bytes_peak() as u64);
+        obs::add(Counter::ArenaReuses, b.scratch.arena.reuses());
+        let t = b.t;
+        return Ok(t.into_tree(pi, root));
+    }
+
+    // Parallel build: one work-stealing pool per build, the calling
+    // thread as worker 0, and `threads - 1` helper workers each owning
+    // its own Scratch (arena + CombineCL memo shard) — DESIGN.md §14.
+    // The worker scratches live inside the leader's Scratch so a
+    // Session amortizes their arena capacity and memo across builds.
+    let mut workers = std::mem::take(&mut scratch.workers);
+    if workers.len() < threads - 1 {
+        workers.resize_with(threads - 1, Scratch::new);
+    }
+    for w in &mut workers {
+        w.arena.reset();
+        w.arena.set_ceiling_bytes(opts.arena_ceiling_bytes);
+    }
+    let result: Result<(TreePools, NodeId), DviclError> = dvicl_pool::scope(
+        &mut workers[..threads - 1],
+        |wid, pool, ws: &mut Scratch| worker_loop(wid, pool, ws, &pi, opts, budget),
+        |pool| {
+            let mut b = Builder {
+                t: pools,
+                pi: &pi,
+                opts,
+                budget,
+                force_leaf,
+                scratch,
+                par: Some(ParHandle { pool, wid: 0 }),
+            };
+            let whole = b.scratch.arena.whole(g);
+            let root = b.build(whole, 0, NO_PARENT)?;
+            Ok((b.t, root))
+        },
+    );
+    // Per-build arena accounting covers every arena the build touched:
+    // the peaks are summed (an upper bound on concurrent residency,
+    // and exactly the total when the build is sequential-equivalent).
+    let mut peak = scratch.arena.bytes_peak();
+    let mut reuses = scratch.arena.reuses();
+    for w in &workers {
+        peak += w.arena.bytes_peak();
+        reuses += w.arena.reuses();
+    }
+    scratch.workers = workers;
+    obs::add(Counter::SubBytesPeak, peak as u64);
+    obs::add(Counter::ArenaReuses, reuses);
+    let (t, root) = result?;
+    Ok(t.into_tree(pi, root))
 }
 
 /// Appends `items` to `pool` and returns the `(start, len)` range.
@@ -301,6 +372,13 @@ pub(crate) struct Scratch {
     pub(crate) cl_cache: FxHashMap<Vec<u8>, ClEntry>,
     /// Reused encode buffer for memo probes: allocation-free on hits.
     pub(crate) key_scratch: Vec<u8>,
+    /// The helper workers' scratches for parallel builds (empty until a
+    /// `threads > 1` build runs). Worker `w` (1-based) exclusively owns
+    /// `workers[w - 1]` for the duration of a `dvicl_pool::scope`;
+    /// between builds they rest here so a `core::Session` amortizes
+    /// worker arena capacity and memo shards the same way it amortizes
+    /// the leader's.
+    pub(crate) workers: Vec<Scratch>,
 }
 
 impl Scratch {
@@ -309,17 +387,23 @@ impl Scratch {
             arena: SubArena::new(),
             cl_cache: FxHashMap::default(),
             key_scratch: Vec::new(),
+            workers: Vec::new(),
         }
     }
 
-    /// Drops every memoized `CombineCL` labeling (configuration change).
+    /// Drops every memoized `CombineCL` labeling (configuration change),
+    /// in the worker shards too.
     pub(crate) fn clear_memo(&mut self) {
         self.cl_cache.clear();
+        for w in &mut self.workers {
+            w.clear_memo();
+        }
     }
 
-    /// Number of memoized `CombineCL` labelings currently held.
+    /// Number of memoized `CombineCL` labelings currently held, summed
+    /// over the leader and every worker shard.
     pub(crate) fn memo_len(&self) -> usize {
-        self.cl_cache.len()
+        self.cl_cache.len() + self.workers.iter().map(Scratch::memo_len).sum::<usize>()
     }
 }
 
@@ -340,10 +424,275 @@ fn push_varint(out: &mut Vec<u8>, mut x: u64) {
     }
 }
 
+/// The eight node-payload pools of an AutoTree under construction —
+/// [`AutoTree`] minus the coloring and root id. A sequential build fills
+/// exactly one; a parallel build additionally fills one *fragment* per
+/// spawned subtree and splices it back with [`TreePools::splice`]. The
+/// splice target offsets are byte-identical to what the sequential
+/// recursion would have produced, because a child subtree's appends to
+/// every pool form one contiguous block between its parent's preorder
+/// and postorder appends (see DESIGN.md §14).
+#[derive(Debug, Default)]
+struct TreePools {
+    nodes: Vec<Node>,
+    verts: Vec<V>,
+    labels: Vec<V>,
+    form_colors: Vec<(V, V)>,
+    form_edges: Vec<(V, V)>,
+    children: Vec<NodeId>,
+    classes: Vec<(u32, u32)>,
+    gen_ranges: Vec<PoolRange>,
+    gen_pairs: Vec<(V, V)>,
+}
+
+fn pool_slice<T>(pool: &[T], r: PoolRange) -> &[T] {
+    &pool[r.0 as usize..(r.0 + r.1) as usize]
+}
+
+impl TreePools {
+    /// Global vertex ids of node `id` (every node kind sets `verts`).
+    fn verts_of(&self, id: NodeId) -> &[V] {
+        pool_slice(&self.verts, self.nodes[id].verts)
+    }
+
+    /// Canonical labels of node `id`, parallel to [`TreePools::verts_of`].
+    fn labels_of(&self, id: NodeId) -> &[V] {
+        pool_slice(&self.labels, self.nodes[id].verts)
+    }
+
+    /// The certificate of node `id` (what `CombineST` sorts by).
+    fn form_of(&self, id: NodeId) -> FormRef<'_> {
+        let n = &self.nodes[id];
+        FormRef {
+            colors: pool_slice(&self.form_colors, n.fcolors),
+            edges: pool_slice(&self.form_edges, n.fedges),
+        }
+    }
+
+    /// Seals the pools into an [`AutoTree`].
+    fn into_tree(self, pi: Coloring, root: NodeId) -> AutoTree {
+        AutoTree {
+            pi,
+            nodes: self.nodes,
+            root,
+            verts: self.verts,
+            labels: self.labels,
+            form_colors: self.form_colors,
+            form_edges: self.form_edges,
+            children: self.children,
+            classes: self.classes,
+            gen_ranges: self.gen_ranges,
+            gen_pairs: self.gen_pairs,
+        }
+    }
+
+    /// Appends a fragment built elsewhere as if its subtree had been
+    /// built right here, right now, and returns the fragment root's new
+    /// node id. Every pool range inside `frag` is rebased by the
+    /// current pool tops; crucially, only the ranges a node's kind
+    /// actually *writes* are rebased — the kind-unused ranges stay
+    /// [`EMPTY`] `(0, 0)`, exactly as the sequential build leaves them,
+    /// which is what makes the merged tree byte-identical rather than
+    /// merely equivalent.
+    fn splice(&mut self, frag: TreePools, parent: u32) -> NodeId {
+        let node_base = self.nodes.len();
+        // dvicl-lint: allow(narrowing-cast) -- pool lengths are bounded as in push_range: far below u32::MAX for any graph this crate can hold
+        let verts_base = self.verts.len() as u32;
+        // dvicl-lint: allow(narrowing-cast) -- bounded as verts_base above
+        let fc_base = self.form_colors.len() as u32;
+        // dvicl-lint: allow(narrowing-cast) -- bounded as verts_base above
+        let fe_base = self.form_edges.len() as u32;
+        // dvicl-lint: allow(narrowing-cast) -- bounded as verts_base above
+        let ch_base = self.children.len() as u32;
+        // dvicl-lint: allow(narrowing-cast) -- bounded as verts_base above
+        let cls_base = self.classes.len() as u32;
+        // dvicl-lint: allow(narrowing-cast) -- bounded as verts_base above
+        let gr_base = self.gen_ranges.len() as u32;
+        // dvicl-lint: allow(narrowing-cast) -- bounded as verts_base above
+        let gp_base = self.gen_pairs.len() as u32;
+        self.verts.extend_from_slice(&frag.verts);
+        self.labels.extend_from_slice(&frag.labels);
+        self.form_colors.extend_from_slice(&frag.form_colors);
+        self.form_edges.extend_from_slice(&frag.form_edges);
+        // Child-id pool entries are node ids; sibling-class runs index
+        // positions *within* a node's child range and gen pairs are
+        // global vertex ids, so neither needs rebasing.
+        self.children.extend(frag.children.iter().map(|&c| c + node_base));
+        self.classes.extend_from_slice(&frag.classes);
+        self.gen_ranges
+            .extend(frag.gen_ranges.iter().map(|&(s, l)| (s + gp_base, l)));
+        self.gen_pairs.extend_from_slice(&frag.gen_pairs);
+        for mut node in frag.nodes {
+            node.verts.0 += verts_base;
+            node.fcolors.0 += fc_base;
+            match node.kind {
+                NodeKind::SingletonLeaf => {}
+                NodeKind::NonSingletonLeaf => {
+                    node.fedges.0 += fe_base;
+                    node.gens.0 += gr_base;
+                }
+                NodeKind::Internal => {
+                    node.fedges.0 += fe_base;
+                    node.children.0 += ch_base;
+                    node.classes.0 += cls_base;
+                }
+            }
+            node.parent = if node.parent == NO_PARENT {
+                parent
+            } else {
+                // dvicl-lint: allow(narrowing-cast) -- node ids are bounded by the node count, far below u32::MAX
+                node.parent + node_base as u32
+            };
+            self.nodes.push(node);
+        }
+        node_base
+    }
+}
+
+/// One spawned unit of parallel work: build the subtree of `seed` at
+/// `depth` into a fresh fragment, and deposit the result in `cell`.
+struct Job {
+    seed: crate::arena::SubSeed,
+    depth: u32,
+    cell: std::sync::Arc<JoinCell>,
+}
+
+/// The rendezvous for one spawned subtree: the builder deposits the
+/// fragment (or the error that aborted it), the spawner takes it at the
+/// deterministic merge point. `ready` is the lock-free fast path the
+/// spawner polls from its help-wait loop.
+struct JoinCell {
+    ready: std::sync::atomic::AtomicBool,
+    slot: std::sync::Mutex<Option<Result<TreePools, DviclError>>>,
+}
+
+impl JoinCell {
+    fn new() -> JoinCell {
+        JoinCell {
+            ready: std::sync::atomic::AtomicBool::new(false),
+            slot: std::sync::Mutex::new(None),
+        }
+    }
+
+    fn complete(&self, r: Result<TreePools, DviclError>) {
+        *self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+        self.ready.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    fn try_take(&self) -> Option<Result<TreePools, DviclError>> {
+        if !self.ready.load(std::sync::atomic::Ordering::Acquire) {
+            return None;
+        }
+        self.slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+}
+
+/// A builder's connection to the parallel region, when there is one.
+#[derive(Clone, Copy)]
+struct ParHandle<'p> {
+    pool: &'p dvicl_pool::Pool<Job>,
+    /// The worker id this builder runs as — spawns push onto this
+    /// worker's own deque (LIFO for itself, FIFO for thieves).
+    wid: usize,
+}
+
+/// Children at least this large are built as spawned fragments; smaller
+/// ones are built inline by the spawning worker. Purely a scheduling
+/// threshold — the output is byte-identical whatever its value, so it
+/// only trades task-spawn overhead against load-balancing granularity.
+const SPAWN_MIN_VERTS: usize = 32;
+
+/// The drain loop every helper worker runs for the lifetime of the
+/// parallel region: acquire (own deque first, then steal), execute,
+/// park when everything is empty, exit at shutdown.
+fn worker_loop(
+    wid: usize,
+    pool: &dvicl_pool::Pool<Job>,
+    ws: &mut Scratch,
+    pi: &Coloring,
+    opts: &DviclOptions,
+    budget: &Budget,
+) {
+    loop {
+        match pool.try_acquire(wid) {
+            Some(job) => run_job(wid, pool, ws, pi, opts, budget, job),
+            None => {
+                if !pool.park(wid) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Executes one [`Job`]: builds the seeded subtree into a fresh
+/// fragment with this worker's own scratch, under the `pool.task` span,
+/// and completes the job's cell. Infallible by design — errors travel
+/// *inside* the cell, so a worker never unwinds (the panic-freedom half
+/// of the DESIGN.md §14 argument).
+fn run_job(
+    wid: usize,
+    pool: &dvicl_pool::Pool<Job>,
+    ws: &mut Scratch,
+    pi: &Coloring,
+    opts: &DviclOptions,
+    budget: &Budget,
+    job: Job,
+) {
+    let _span = dvicl_pool::task_span();
+    let t0 = std::time::Instant::now();
+    let res = build_fragment(wid, pool, ws, pi, opts, budget, &job);
+    pool.note_busy(wid, t0.elapsed().as_nanos() as u64);
+    job.cell.complete(res);
+}
+
+/// Builds the subtree of one seed into a fresh fragment. The seed is
+/// adopted into the executing worker's own arena as a root segment and
+/// released again on every path out, so a worker arena's mark is
+/// restored across any job — the no-leak half of the fault-sweep
+/// invariant.
+fn build_fragment(
+    wid: usize,
+    pool: &dvicl_pool::Pool<Job>,
+    ws: &mut Scratch,
+    pi: &Coloring,
+    opts: &DviclOptions,
+    budget: &Budget,
+    job: &Job,
+) -> Result<TreePools, DviclError> {
+    let mark = ws.arena.mark();
+    let out = (|| {
+        // dvicl-lint: allow(arena-discipline) -- this `?` exits only the closure; `release(mark)` below runs on every path out of build_fragment
+        let sub = ws.arena.try_adopt(&job.seed)?;
+        let mut b = Builder {
+            t: TreePools::default(),
+            pi,
+            opts,
+            budget,
+            force_leaf: false,
+            scratch: ws,
+            par: Some(ParHandle { pool, wid }),
+        };
+        // dvicl-lint: allow(arena-discipline) -- as above: the closure's early exit still reaches the unconditional release below
+        b.build(sub, job.depth, NO_PARENT)?;
+        Ok(b.t)
+    })();
+    ws.arena.release(mark);
+    out
+}
+
 struct Builder<'a> {
-    /// The tree under construction: node records plus the pooled
-    /// per-node payloads they point into (tree.rs module docs).
-    t: AutoTree,
+    /// The tree (or fragment) under construction: node records plus the
+    /// pooled per-node payloads they point into (tree.rs module docs).
+    t: TreePools,
+    /// The refined equitable root coloring `π` every subgraph projects.
+    pi: &'a Coloring,
     opts: &'a DviclOptions,
     budget: &'a Budget,
     /// Degraded mode: skip every divide rule so the root becomes a
@@ -359,6 +708,9 @@ struct Builder<'a> {
     /// (never a lossy hash), yet a leaf costs ~2 bytes per edge instead
     /// of a cloned `(Vec<V>, Vec<(V, V)>)`.
     scratch: &'a mut Scratch,
+    /// `Some` inside a parallel region: big children are spawned as
+    /// jobs, joined with a help-wait, and spliced in part order.
+    par: Option<ParHandle<'a>>,
 }
 
 impl<'a> Builder<'a> {
@@ -384,7 +736,7 @@ impl<'a> Builder<'a> {
 
         // Base case: a one-vertex subgraph (Algorithm 1 lines 7–8).
         if sub.n() == 1 {
-            let color = self.t.pi.color_of(self.scratch.arena.verts(&sub)[0]);
+            let color = self.pi.color_of(self.scratch.arena.verts(&sub)[0]);
             self.t.labels[vrange.0 as usize] = color;
             // The paper's singleton certificate C({v}) = (π(v), π(v)).
             let fcolors = push_range(&mut self.t.form_colors, &[(color, 1)]);
@@ -404,10 +756,10 @@ impl<'a> Builder<'a> {
             self.scratch
                 .arena
                 .divide_components(&sub)
-                .or_else(|| self.scratch.arena.divide_i(&sub, &self.t.pi))
+                .or_else(|| self.scratch.arena.divide_i(&sub, self.pi))
                 .or_else(|| {
                     if self.opts.use_divide_s {
-                        self.scratch.arena.divide_s(&sub, &self.t.pi)
+                        self.scratch.arena.divide_s(&sub, self.pi)
                     } else {
                         None
                     }
@@ -417,29 +769,146 @@ impl<'a> Builder<'a> {
         match division {
             None => self.combine_cl(id, &sub)?,
             Some(d) => {
-                // Stack discipline: each child's arena segment is carved
-                // on top of the parent's, consumed by the recursive call,
-                // and released before the next sibling is carved — peak
-                // residency is one root-to-leaf chain, and siblings reuse
-                // the same buffer space. The release happens on the error
-                // path too, so an abort (budget trip, cancellation,
-                // injected fault) deep in the recursion unwinds the arena
-                // all the way back to the caller's mark.
-                let mut children: Vec<NodeId> = Vec::with_capacity(d.len());
                 // dvicl-lint: allow(narrowing-cast) -- id < node count <= n·depth, far below u32::MAX
                 let parent_id = id as u32;
-                for i in 0..d.len() {
-                    let mark = self.scratch.arena.mark();
-                    let cid = dvicl_govern::fault::checkpoint("core.arena_carve")
-                        .and_then(|()| self.scratch.arena.try_induced_child(&sub, d.part(i)))
-                        .and_then(|child| self.build(child, depth + 1, parent_id));
-                    self.scratch.arena.release(mark);
-                    children.push(cid?);
-                }
+                let children = match self.par {
+                    None => self.build_children_seq(&sub, &d, depth, parent_id)?,
+                    Some(h) => self.build_children_par(h, &sub, &d, depth, parent_id)?,
+                };
                 self.combine_st(id, &sub, children);
             }
         }
         Ok(id)
+    }
+
+    /// The sequential child loop of Algorithm 1.
+    ///
+    /// Stack discipline: each child's arena segment is carved on top of
+    /// the parent's, consumed by the recursive call, and released
+    /// before the next sibling is carved — peak residency is one
+    /// root-to-leaf chain, and siblings reuse the same buffer space.
+    /// The release happens on the error path too, so an abort (budget
+    /// trip, cancellation, injected fault) deep in the recursion
+    /// unwinds the arena all the way back to the caller's mark.
+    fn build_children_seq(
+        &mut self,
+        sub: &Sub,
+        d: &Division,
+        depth: u32,
+        parent_id: u32,
+    ) -> Result<Vec<NodeId>, DviclError> {
+        let mut children: Vec<NodeId> = Vec::with_capacity(d.len());
+        for i in 0..d.len() {
+            let mark = self.scratch.arena.mark();
+            let cid = dvicl_govern::fault::checkpoint("core.arena_carve")
+                .and_then(|()| self.scratch.arena.try_induced_child(sub, d.part(i)))
+                .and_then(|child| self.build(child, depth + 1, parent_id));
+            self.scratch.arena.release(mark);
+            children.push(cid?);
+        }
+        Ok(children)
+    }
+
+    /// The parallel child loop (DESIGN.md §14). Two passes:
+    ///
+    /// 1. Every part of at least [`SPAWN_MIN_VERTS`] vertices is carved,
+    ///    exported as an owned [`crate::arena::SubSeed`] (the carve is
+    ///    released immediately — the seed owns its data) and spawned as
+    ///    a [`Job`] onto this worker's deque, where idle workers steal
+    ///    it. Small parts stay inline.
+    /// 2. The children are then *realized strictly in part order*: an
+    ///    inline part is built directly into `self.t` exactly as the
+    ///    sequential loop would; a spawned part is joined (help-wait:
+    ///    while its cell is pending this worker executes other pool
+    ///    jobs) and its fragment spliced into `self.t`. Since pass 2 is
+    ///    the only thing that appends to `self.t`, and it walks parts in
+    ///    order, every child block lands at the sequential offsets —
+    ///    the deterministic merge that keeps forms byte-identical.
+    ///
+    /// Errors surface at the first failing part in part order, matching
+    /// the sequential loop's early exit; later siblings may already be
+    /// running on workers, and simply finish into cells nobody reads
+    /// (the shared `Budget` makes them fail fast when the cause was
+    /// exhaustion or cancellation).
+    fn build_children_par(
+        &mut self,
+        h: ParHandle<'a>,
+        sub: &Sub,
+        d: &Division,
+        depth: u32,
+        parent_id: u32,
+    ) -> Result<Vec<NodeId>, DviclError> {
+        enum Pending {
+            Inline,
+            Spawned(std::sync::Arc<JoinCell>),
+            Failed(DviclError),
+        }
+        let mut pending: Vec<Pending> = Vec::with_capacity(d.len());
+        for i in 0..d.len() {
+            let part = d.part(i);
+            if part.len() < SPAWN_MIN_VERTS {
+                pending.push(Pending::Inline);
+                continue;
+            }
+            let mark = self.scratch.arena.mark();
+            let seed = dvicl_govern::fault::checkpoint("core.arena_carve")
+                .and_then(|()| self.scratch.arena.try_induced_child(sub, part))
+                .map(|child| self.scratch.arena.export(&child));
+            self.scratch.arena.release(mark);
+            pending.push(match seed {
+                Ok(seed) => {
+                    let cell = std::sync::Arc::new(JoinCell::new());
+                    let job = Job {
+                        seed,
+                        depth: depth + 1,
+                        cell: std::sync::Arc::clone(&cell),
+                    };
+                    match h.pool.spawn(h.wid, job) {
+                        Ok(()) => Pending::Spawned(cell),
+                        Err(e) => Pending::Failed(e),
+                    }
+                }
+                Err(e) => Pending::Failed(e),
+            });
+        }
+        let mut children: Vec<NodeId> = Vec::with_capacity(d.len());
+        for (i, p) in pending.into_iter().enumerate() {
+            match p {
+                Pending::Inline => {
+                    let mark = self.scratch.arena.mark();
+                    let cid = dvicl_govern::fault::checkpoint("core.arena_carve")
+                        .and_then(|()| self.scratch.arena.try_induced_child(sub, d.part(i)))
+                        .and_then(|child| self.build(child, depth + 1, parent_id));
+                    self.scratch.arena.release(mark);
+                    children.push(cid?);
+                }
+                Pending::Spawned(cell) => {
+                    let frag = self.join(h, &cell)?;
+                    children.push(self.t.splice(frag, parent_id));
+                }
+                Pending::Failed(e) => return Err(e),
+            }
+        }
+        Ok(children)
+    }
+
+    /// Waits for a spawned subtree by *helping*: while the cell is
+    /// pending, this worker executes other pool jobs (its own deque
+    /// first, then steals). Deadlock-free: the job being awaited sits
+    /// in this worker's own deque until someone (possibly this very
+    /// loop) executes it, so progress never depends on an idle peer.
+    fn join(&mut self, h: ParHandle<'a>, cell: &JoinCell) -> Result<TreePools, DviclError> {
+        loop {
+            if let Some(res) = cell.try_take() {
+                return res;
+            }
+            match h.pool.try_acquire(h.wid) {
+                Some(job) => {
+                    run_job(h.wid, h.pool, self.scratch, self.pi, self.opts, self.budget, job);
+                }
+                None => std::thread::yield_now(),
+            }
+        }
     }
 
     /// `CombineCL` (Algorithm 4): label a non-singleton leaf with the IR
@@ -449,13 +918,13 @@ impl<'a> Builder<'a> {
     fn combine_cl(&mut self, id: NodeId, sub: &Sub) -> Result<(), DviclError> {
         let _span = obs::span("core.leaf_ir");
         dvicl_govern::fault::checkpoint("core.leaf_ir")?;
-        let (local_g, local_pi) = self.scratch.arena.to_local_graph(sub, &self.t.pi);
+        let (local_g, local_pi) = self.scratch.arena.to_local_graph(sub, self.pi);
         let colors: Vec<V> = self
             .scratch
             .arena
             .verts(sub)
             .iter()
-            .map(|&v| self.t.pi.color_of(v))
+            .map(|&v| self.pi.color_of(v))
             .collect();
         // Memo lookup: the IR result is a pure function of the local graph
         // and the projected coloring, and the colors vector determines the
@@ -493,7 +962,7 @@ impl<'a> Builder<'a> {
         };
         self.scratch.key_scratch = key;
         let mut labels = vec![0 as V; sub.n()];
-        for cell in self.scratch.arena.cells(sub, &self.t.pi) {
+        for cell in self.scratch.arena.cells(sub, self.pi) {
             let mut members = cell.members;
             members.sort_unstable_by_key(|&i| labeling.apply(i));
             for (rank, &i) in members.iter().enumerate() {
@@ -538,13 +1007,13 @@ impl<'a> Builder<'a> {
     fn combine_st(&mut self, id: NodeId, sub: &Sub, mut children: Vec<NodeId>) {
         let _span = obs::span("core.combine");
         // Line 1: non-descending certificate order.
-        children.sort_by(|&a, &b| self.t.node(a).form().cmp(&self.t.node(b).form()));
+        children.sort_by(|&a, &b| self.t.form_of(a).cmp(&self.t.form_of(b)));
         // Runs of equal certificates = classes of symmetric siblings.
         let mut sibling_classes: Vec<(u32, u32)> = Vec::new();
         let mut start = 0;
         for i in 1..=children.len() {
             if i == children.len()
-                || self.t.node(children[i]).form() != self.t.node(children[start]).form()
+                || self.t.form_of(children[i]) != self.t.form_of(children[start])
             {
                 // dvicl-lint: allow(narrowing-cast) -- class bounds index the child list, <= g.n() <= V::MAX
                 sibling_classes.push((start as u32, i as u32));
@@ -554,16 +1023,16 @@ impl<'a> Builder<'a> {
         // (child position, in-child label) per global vertex.
         let mut key: FxHashMap<V, (u32, V)> = FxHashMap::default();
         for (pos, &c) in children.iter().enumerate() {
-            let child = self.t.node(c);
-            for (i, &v) in child.verts().iter().enumerate() {
+            let labels = self.t.labels_of(c);
+            for (i, &v) in self.t.verts_of(c).iter().enumerate() {
                 // dvicl-lint: allow(narrowing-cast) -- pos < children.len() <= g.n() <= V::MAX
-                key.insert(v, (pos as u32, child.labels()[i]));
+                key.insert(v, (pos as u32, labels[i]));
             }
         }
         // Lines 2–5: rank within each cell of π_g.
         let verts = self.scratch.arena.verts(sub);
         let mut labels = vec![0 as V; sub.n()];
-        for cell in self.scratch.arena.cells(sub, &self.t.pi) {
+        for cell in self.scratch.arena.cells(sub, self.pi) {
             let mut members = cell.members;
             members.sort_unstable_by_key(|&i| key[&verts[i as usize]]);
             for (rank, &i) in members.iter().enumerate() {
@@ -572,8 +1041,8 @@ impl<'a> Builder<'a> {
         }
         // Line 6: C(g, π_g) = (g, π_g)^{γ_g} over the *induced* subgraph
         // (including any edges the divide rules deleted).
-        let (local_g, _) = self.scratch.arena.to_local_graph(sub, &self.t.pi);
-        let colors: Vec<V> = verts.iter().map(|&v| self.t.pi.color_of(v)).collect();
+        let (local_g, _) = self.scratch.arena.to_local_graph(sub, self.pi);
+        let colors: Vec<V> = verts.iter().map(|&v| self.pi.color_of(v)).collect();
         let form = CanonForm::new(&local_g, &colors, &labels);
         let fcolors = push_range(&mut self.t.form_colors, &form.colors);
         let fedges = push_range(&mut self.t.form_edges, &form.edges);
@@ -832,6 +1301,79 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    /// Field-by-field pool equality: stronger than certificate equality,
+    /// this asserts the parallel build's splices land every byte where
+    /// the sequential recursion put it.
+    fn assert_trees_identical(a: &AutoTree, b: &AutoTree) {
+        assert_eq!(a.pi, b.pi);
+        assert_eq!(a.root, b.root);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.verts, b.verts);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.form_colors, b.form_colors);
+        assert_eq!(a.form_edges, b.form_edges);
+        assert_eq!(a.children, b.children);
+        assert_eq!(a.classes, b.classes);
+        assert_eq!(a.gen_ranges, b.gen_ranges);
+        assert_eq!(a.gen_pairs, b.gen_pairs);
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical() {
+        // Graphs whose divisions have parts above and below the spawn
+        // threshold, symmetric siblings (memo traffic), deep nesting,
+        // and non-singleton leaves with generators.
+        let graphs = [
+            named::fig1_example(),
+            named::petersen().disjoint_union(&named::petersen()),
+            named::cycle(40)
+                .disjoint_union(&named::cycle(48))
+                .disjoint_union(&named::cycle(40))
+                .disjoint_union(&named::star(5)),
+            named::rary_tree(3, 4),
+            named::hypercube(3).disjoint_union(&named::complete_bipartite(4, 9)),
+        ];
+        for (k, g) in graphs.into_iter().enumerate() {
+            let pi = Coloring::unit(g.n());
+            let seq = build_autotree(&g, &pi, &DviclOptions::default());
+            for threads in [2, 4] {
+                let par = build_autotree(
+                    &g,
+                    &pi,
+                    &DviclOptions {
+                        threads,
+                        ..DviclOptions::default()
+                    },
+                );
+                assert_trees_identical(&seq, &par);
+                let _ = (k, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_spawns_onto_the_pool() {
+        // Two 64-cycles: both components clear SPAWN_MIN_VERTS, so a
+        // 4-thread build must push jobs through the pool.
+        let g = named::cycle(64).disjoint_union(&named::cycle(64));
+        let before = obs::snapshot();
+        let t = build_autotree(
+            &g,
+            &Coloring::unit(g.n()),
+            &DviclOptions {
+                threads: 4,
+                ..DviclOptions::default()
+            },
+        );
+        let d = obs::snapshot().diff(&before);
+        assert_eq!(t.node(t.root()).children().len(), 2);
+        assert!(
+            d.get(Counter::PoolTasks) >= 2,
+            "expected spawned subtree jobs, saw {}",
+            d.get(Counter::PoolTasks)
+        );
     }
 
     #[test]

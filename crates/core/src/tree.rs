@@ -50,7 +50,7 @@ pub enum NodeKind {
 
 /// One node of the AutoTree: a compact record of ranges into the tree's
 /// pools (see the module docs). Read it through [`NodeRef`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Node {
     /// `V(g)` and `γ_g`, as one shared range into the parallel
     /// `verts`/`labels` pools.

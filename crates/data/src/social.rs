@@ -37,6 +37,13 @@ pub struct SocialConfig {
     /// Ring pocket circumference (even: the hung path refines to paired
     /// cells that no divide rule can separate).
     pub ring_size: usize,
+    /// Per-pocket circumference increment: pocket `k` (0-based) has
+    /// circumference `ring_size + k * ring_growth`. The paper's web
+    /// graphs carry non-singleton leaves of widely *varied* sizes
+    /// (Table 3: averages up to 163.59), not one repeated size — and
+    /// distinct sizes are structurally distinct leaves, so each costs
+    /// its own `IR` run instead of hitting the `CombineCL` memo.
+    pub ring_growth: usize,
     /// Number of *mirror hub* classes: groups of structurally equivalent
     /// mid/high-influence vertices sharing an identical core neighborhood.
     /// Real networks have them (identically-behaving accounts); they are
@@ -65,6 +72,7 @@ impl Default for SocialConfig {
             tree_size: 5,
             ring_pockets: 0,
             ring_size: 8,
+            ring_growth: 0,
             mirror_classes: 0,
             mirror_class_size: 3,
             mirror_degree: 60,
@@ -100,10 +108,13 @@ pub fn generate(cfg: &SocialConfig) -> Graph {
         let x = rng.gen::<f64>() * total;
         cum.partition_point(|&c| c < x).min(n - 1) as V
     };
-    // Extra vertices for the planted structures.
+    // Extra vertices for the planted structures (ring pocket `p` has
+    // `ring_size + p * ring_growth` vertices).
+    let ring_verts = cfg.ring_pockets * cfg.ring_size
+        + cfg.ring_growth * (cfg.ring_pockets * cfg.ring_pockets.saturating_sub(1)) / 2;
     let extra = cfg.twin_fans * cfg.fan_size
         + cfg.tree_hubs * cfg.tree_copies * cfg.tree_size
-        + cfg.ring_pockets * cfg.ring_size
+        + ring_verts
         + cfg.mirror_classes * cfg.mirror_class_size;
     let mut b = GraphBuilder::with_capacity(n + extra, m_target + extra + n);
     for _ in 0..m_target {
@@ -152,10 +163,10 @@ pub fn generate(cfg: &SocialConfig) -> Graph {
     // cells, so `DivideS` strips them and leaves the bare cycle — a
     // connected single-cell subgraph no divide rule can crack: exactly the
     // small non-singleton AutoTree leaves Table 3 reports for web graphs.
-    for _ in 0..cfg.ring_pockets {
+    for p in 0..cfg.ring_pockets {
         let anchor = sample(&mut rng, &cum);
         let base = next;
-        let k = cfg.ring_size as V;
+        let k = (cfg.ring_size + p * cfg.ring_growth) as V;
         for i in 0..k {
             b.add_edge(base + i, base + (i + 1) % k);
             b.add_edge(anchor, base + i);
@@ -213,6 +224,30 @@ mod tests {
         assert!(d > 3.0 && d < 12.0, "avg degree {d}");
         // Power law: max degree far above average.
         assert!(g.max_degree() > 10 * d as usize);
+    }
+
+    #[test]
+    fn ring_growth_varies_pocket_sizes() {
+        let base = SocialConfig {
+            core_n: 500,
+            twin_fans: 0,
+            tree_hubs: 0,
+            ring_pockets: 5,
+            ring_size: 6,
+            ring_growth: 0,
+            ..SocialConfig::default()
+        };
+        let flat = generate(&base);
+        let grown = generate(&SocialConfig {
+            ring_growth: 4,
+            ..base.clone()
+        });
+        // Pocket p gains p * growth vertices: 0+4+8+12+16 = 40 extra.
+        assert_eq!(grown.n(), flat.n() + 40);
+        // Every pocket vertex has degree 3 (two ring neighbors + anchor),
+        // so the largest pocket's last vertex exists and closes its ring.
+        let last = grown.n() as V - 1;
+        assert_eq!(grown.degree(last), 3);
     }
 
     #[test]

@@ -16,9 +16,9 @@ pub const ID: &str = "obs-span-naming";
 /// First-segment vocabulary: the workspace's crate short names (plus
 /// `dvicl` for the root crate). Kept in one place so adding a crate is
 /// a one-line change.
-pub const KNOWN_PREFIXES: [&str; 14] = [
+pub const KNOWN_PREFIXES: [&str; 15] = [
     "graph", "govern", "group", "refine", "canon", "core", "apps", "data", "cli", "bench",
-    "lint", "obs", "index", "dvicl",
+    "lint", "obs", "index", "pool", "dvicl",
 ];
 
 fn is_segment(s: &str) -> bool {

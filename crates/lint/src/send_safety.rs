@@ -28,7 +28,11 @@ use std::fmt::Write as _;
 pub const SCHEMA: &str = "dvicl-send-safety-v1";
 
 /// The files whose types the report covers.
-pub const COVERED_FILES: [&str; 2] = ["crates/core/src/sub.rs", "crates/core/src/arena.rs"];
+pub const COVERED_FILES: [&str; 3] = [
+    "crates/core/src/sub.rs",
+    "crates/core/src/arena.rs",
+    "crates/pool/src/lib.rs",
+];
 
 /// One field (or enum payload) verdict.
 struct FieldVerdict {

@@ -72,10 +72,17 @@ pub enum Counter {
     /// Builds served by a `core::Session` that reused its arena pools
     /// and CombineCL memo from an earlier build (`core::Session`).
     SessionArenaReuses,
+    /// Subtree jobs spawned onto the work-stealing pool — fragments
+    /// built away from their parent's call stack (`core::pool`).
+    PoolTasks,
+    /// Pool jobs executed by a worker other than the one that spawned
+    /// them (`core::pool`). `pool_tasks - pool_steals` jobs were
+    /// popped back by their owner.
+    PoolSteals,
 }
 
 /// How many counters exist (the length of [`Counter::ALL`]).
-pub const NUM_COUNTERS: usize = 24;
+pub const NUM_COUNTERS: usize = 26;
 
 impl Counter {
     /// Every counter, in reporting order.
@@ -104,6 +111,8 @@ impl Counter {
         Counter::IndexHits,
         Counter::IndexCollisions,
         Counter::SessionArenaReuses,
+        Counter::PoolTasks,
+        Counter::PoolSteals,
     ];
 
     /// The counter's stable snake_case name, as it appears in
@@ -138,6 +147,8 @@ impl Counter {
             Counter::IndexHits => "index_hits",
             Counter::IndexCollisions => "index_collisions",
             Counter::SessionArenaReuses => "session_arena_reuses",
+            Counter::PoolTasks => "pool_tasks",
+            Counter::PoolSteals => "pool_steals",
         }
     }
 }

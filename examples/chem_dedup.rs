@@ -11,9 +11,11 @@
 //! certificates: one insert per graph, isomorphic graphs land in one
 //! class, and the class member counts are the duplicate counts.
 //!
-//! Run with `cargo run --release --example chem_dedup`.
+//! Run with `cargo run --release --example chem_dedup` — add
+//! `-- --threads 4` to canonicalize each graph with a parallel build
+//! (certificates, classes, and counts are byte-identical at any width).
 
-use dvicl::core::Session;
+use dvicl::core::{DviclOptions, Session};
 use dvicl::graph::{named, Graph, Perm, V};
 use dvicl::index::FingerprintIndex;
 
@@ -45,7 +47,24 @@ fn shuffle(g: &Graph, salt: u64) -> Graph {
     g.permuted(&Perm::from_image(image).expect("shuffle is a bijection"))
 }
 
+/// Parses `--threads N` (default 1, `0` = all cores) from the example's
+/// arguments.
+fn threads_flag() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--threads") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threads requires a count (0 = all cores)");
+                std::process::exit(2);
+            }),
+        None => 1,
+    }
+}
+
 fn main() {
+    let threads = threads_flag();
     // Build a collection with every library graph appearing under several
     // random relabelings.
     let mut collection: Vec<(String, Graph)> = Vec::new();
@@ -58,7 +77,10 @@ fn main() {
 
     // One session, one index: each graph costs one canonicalization and
     // one fingerprint probe, however large the collection grows.
-    let mut session = Session::default();
+    let mut session = Session::new(DviclOptions {
+        threads,
+        ..DviclOptions::default()
+    });
     let mut index = FingerprintIndex::new();
     let mut names_by_class: Vec<Vec<String>> = Vec::new();
     for (name, g) in &collection {

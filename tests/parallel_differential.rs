@@ -1,0 +1,80 @@
+//! Differential oracle for the work-stealing parallel build: over a
+//! corpus of suite graphs, `--threads 1` and `--threads 4` must produce
+//! **byte-identical** results — the same canonical form and the same
+//! generator list, in the same order.
+//!
+//! This is the external half of the determinism contract (DESIGN.md
+//! §14; the field-by-field AutoTree comparison lives next to the
+//! builder in `dvicl-core`): parallelism may only change wall-clock
+//! time, never a single byte of output, because every `CombineST` join
+//! realizes its children in part order regardless of which worker built
+//! them. Each graph is also built at `--threads 4` through a reused
+//! [`Session`] to pin the combination of worker-scratch reuse and
+//! parallel construction.
+
+use dvicl::core::{aut, DviclOptions, Session};
+use dvicl::graph::{named, Coloring, Graph};
+
+/// Suite graphs whose debug-mode builds stay in test-friendly time,
+/// plus named graphs covering the spawn-relevant shapes: multiple
+/// equal components, nested divisions, and non-singleton leaves.
+fn corpus() -> Vec<(String, Graph)> {
+    let mut graphs: Vec<(String, Graph)> = vec![
+        ("fig1".into(), named::fig1_example()),
+        ("petersen_x2".into(), named::petersen().disjoint_union(&named::petersen())),
+        (
+            "cycles_40_48_40".into(),
+            named::cycle(40)
+                .disjoint_union(&named::cycle(48))
+                .disjoint_union(&named::cycle(40)),
+        ),
+        ("rary_3_4".into(), named::rary_tree(3, 4)),
+        (
+            "cube_plus_k49".into(),
+            named::hypercube(3).disjoint_union(&named::complete_bipartite(4, 9)),
+        ),
+    ];
+    for d in dvicl::data::benchmark_suite() {
+        if ["mz-aug-50", "fpga11-20-like"].contains(&d.name) {
+            graphs.push((d.name.to_string(), (d.build)()));
+        }
+    }
+    graphs
+}
+
+fn session(threads: usize) -> Session {
+    Session::new(DviclOptions {
+        threads,
+        ..DviclOptions::default()
+    })
+}
+
+#[test]
+fn threads_1_and_4_are_byte_identical() {
+    let mut seq = session(1);
+    let mut par = session(4);
+    for (name, g) in corpus() {
+        let a = seq.build(&g, &Coloring::unit(g.n()));
+        let b = par.build(&g, &Coloring::unit(g.n()));
+        assert_eq!(
+            a.canonical_form(),
+            b.canonical_form(),
+            "{name}: canonical form differs between threads 1 and 4"
+        );
+        assert_eq!(
+            a.canonical_labeling(),
+            b.canonical_labeling(),
+            "{name}: canonical labeling differs between threads 1 and 4"
+        );
+        assert_eq!(
+            aut::generators(&a),
+            aut::generators(&b),
+            "{name}: generator list differs between threads 1 and 4"
+        );
+        assert_eq!(
+            aut::group_order(&a),
+            aut::group_order(&b),
+            "{name}: |Aut(G)| differs between threads 1 and 4"
+        );
+    }
+}
