@@ -14,7 +14,7 @@
 //! byte-identical to one-shot builds — reuse changes where the working
 //! memory comes from, never the result.
 
-use dvicl_canon::{try_canonical_form, Config};
+use dvicl_canon::{try_canonical_form, Config, KernelKind, TargetCell};
 use dvicl_core::{AutoTree, DviclOptions, Session};
 use dvicl_govern::Budget;
 use dvicl_graph::{Coloring, Graph};
@@ -44,6 +44,48 @@ pub fn threads() -> usize {
     THREADS.load(Ordering::Relaxed)
 }
 
+/// The `--kernel` / `DVICL_KERNEL` selection (default `auto`), stored as
+/// the `KernelKind` discriminant. Both kernels produce byte-identical
+/// certificates, so this only moves the wall-clock and kernel counters.
+static KERNEL: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// The refinement kernel requested for this benchmark process.
+pub fn kernel() -> KernelKind {
+    match KERNEL.load(Ordering::Relaxed) {
+        1 => KernelKind::General,
+        2 => KernelKind::Bitset,
+        _ => KernelKind::Auto,
+    }
+}
+
+/// The `--target-cell` / `DVICL_TARGET_CELL` override; `usize::MAX`
+/// means "not set" so every engine keeps its own selector (nauty-like
+/// first, traces-like largest, ...).
+static TARGET_CELL: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(usize::MAX);
+
+/// The target-cell selector override, if one was requested.
+pub fn target_cell() -> Option<TargetCell> {
+    match TARGET_CELL.load(Ordering::Relaxed) {
+        0 => Some(TargetCell::FirstNonSingleton),
+        1 => Some(TargetCell::SmallestFirst),
+        2 => Some(TargetCell::LargestFirst),
+        3 => Some(TargetCell::MostConstrained),
+        _ => None,
+    }
+}
+
+/// Applies the process-wide `--kernel` / `--target-cell` overrides to an
+/// engine configuration. Every baseline run and DviCL session in a table
+/// binary goes through here, so one flag steers the whole table.
+pub fn configured(mut config: Config) -> Config {
+    config.kernel = kernel();
+    if let Some(tc) = target_cell() {
+        config.target_cell = tc;
+    }
+    config
+}
+
 /// The three baseline engines of the paper's evaluation and their
 /// `DviCL+X` counterparts. The names mirror the paper's columns; see
 /// `dvicl-canon` for what each configuration stands in for.
@@ -67,11 +109,12 @@ pub fn budget() -> Duration {
 }
 
 /// Parses the flags shared by every table binary (`--stats`,
-/// `--paranoid`, `--threads <N>`, `--trace-json <path>`) and installs
-/// the matching sink. `DVICL_PARANOID` / `DVICL_THREADS` are the
-/// environment equivalents (a flag wins over its variable). Call first
-/// in `main`; [`Recorder::write`] flushes the sink at the end via
-/// `dvicl_obs::finish`.
+/// `--paranoid`, `--threads <N>`, `--kernel <K>`, `--target-cell <T>`,
+/// `--trace-json <path>`) and installs the matching sink.
+/// `DVICL_PARANOID` / `DVICL_THREADS` / `DVICL_KERNEL` /
+/// `DVICL_TARGET_CELL` are the environment equivalents (a flag wins over
+/// its variable). Call first in `main`; [`Recorder::write`] flushes the
+/// sink at the end via `dvicl_obs::finish`.
 pub fn init_obs() {
     let args: Vec<String> = std::env::args().collect();
     let mut stats = false;
@@ -84,6 +127,24 @@ pub fn init_obs() {
             Ok(n) => THREADS.store(n, Ordering::Relaxed),
             Err(_) => {
                 eprintln!("DVICL_THREADS: not a count: {v:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("DVICL_KERNEL") {
+        match KernelKind::parse(&v) {
+            Some(k) => KERNEL.store(k as usize, Ordering::Relaxed),
+            None => {
+                eprintln!("DVICL_KERNEL: unknown kernel: {v:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("DVICL_TARGET_CELL") {
+        match TargetCell::parse(&v) {
+            Some(t) => TARGET_CELL.store(t as usize, Ordering::Relaxed),
+            None => {
+                eprintln!("DVICL_TARGET_CELL: unknown selector: {v:?}");
                 std::process::exit(2);
             }
         }
@@ -101,6 +162,22 @@ pub fn init_obs() {
                 THREADS.store(n, Ordering::Relaxed);
                 i += 1;
             }
+            "--kernel" => {
+                let Some(k) = args.get(i + 1).and_then(|v| KernelKind::parse(v)) else {
+                    eprintln!("--kernel requires auto|general|bitset");
+                    std::process::exit(2);
+                };
+                KERNEL.store(k as usize, Ordering::Relaxed);
+                i += 1;
+            }
+            "--target-cell" => {
+                let Some(t) = args.get(i + 1).and_then(|v| TargetCell::parse(v)) else {
+                    eprintln!("--target-cell requires first|smallest|largest|most-constrained");
+                    std::process::exit(2);
+                };
+                TARGET_CELL.store(t as usize, Ordering::Relaxed);
+                i += 1;
+            }
             "--trace-json" => {
                 let Some(p) = args.get(i + 1) else {
                     eprintln!("--trace-json requires a path");
@@ -111,8 +188,8 @@ pub fn init_obs() {
             }
             other => {
                 eprintln!(
-                    "unknown flag {other} (expected --stats, --paranoid, --threads <N> \
-                     or --trace-json <path>)"
+                    "unknown flag {other} (expected --stats, --paranoid, --threads <N>, \
+                     --kernel <K>, --target-cell <T> or --trace-json <path>)"
                 );
                 std::process::exit(2);
             }
@@ -189,10 +266,12 @@ pub fn measure<T>(f: impl FnOnce() -> Option<T>) -> (Run, Option<T>) {
     )
 }
 
-/// Runs a baseline engine `X` alone on `(g, unit)` under the budget.
+/// Runs a baseline engine `X` alone on `(g, unit)` under the budget,
+/// with the process-wide kernel/selector overrides applied.
 pub fn run_baseline(g: &Graph, config: &Config) -> Run {
+    let config = configured(config.clone());
     let limits = Budget::with_deadline(budget());
-    measure(|| try_canonical_form(g, &Coloring::unit(g.n()), config, &limits).ok()).0
+    measure(|| try_canonical_form(g, &Coloring::unit(g.n()), &config, &limits).ok()).0
 }
 
 /// A session for `DviCL+X` runs: AutoTree construction with `X` as the
@@ -200,7 +279,7 @@ pub fn run_baseline(g: &Graph, config: &Config) -> Run {
 /// `CombineCL` memo amortize over every graph.
 pub fn dvicl_session(config: &Config) -> Session {
     Session::new(DviclOptions {
-        leaf_config: config.clone(),
+        leaf_config: configured(config.clone()),
         threads: threads(),
         ..DviclOptions::default()
     })

@@ -5,7 +5,7 @@ use dvicl_govern::{Budget, DviclError};
 use dvicl_obs::{self as obs, Counter};
 use dvicl_graph::{CanonForm, Coloring, Graph, Perm, V};
 use dvicl_group::Orbits;
-use dvicl_refine::Refiner;
+use dvicl_refine::{KernelKind, Refiner};
 use std::cmp::Ordering;
 
 /// Target cell selector `T` (Section 4): which non-singleton cell of the
@@ -23,11 +23,21 @@ pub enum TargetCell {
     /// The first *largest* non-singleton cell — stands in for traces'
     /// preference for large cells in this reproduction.
     LargestFirst,
+    /// The first most-constrained non-singleton cell: the one adjacent
+    /// to the largest number of *distinct* cells — a DSATUR-style
+    /// saturation choice. Individualizing inside a highly-saturated
+    /// cell tends to split the most cells in the next refinement. In an
+    /// equitable coloring every member of a cell sees the same multiset
+    /// of neighbor colors, so one member's neighborhood determines the
+    /// whole cell's saturation and the choice stays
+    /// isomorphism-invariant.
+    MostConstrained,
 }
 
 impl TargetCell {
-    /// Applies the selector to an equitable coloring; `None` if discrete.
-    pub fn select<'a>(&self, pi: &'a Coloring) -> Option<&'a [V]> {
+    /// Applies the selector to an equitable coloring of `g`; `None` if
+    /// discrete.
+    pub fn select<'a>(&self, g: &Graph, pi: &'a Coloring) -> Option<&'a [V]> {
         let non_singleton = pi.cells().iter().filter(|c| c.len() > 1);
         match self {
             TargetCell::FirstNonSingleton => non_singleton.map(|c| c.as_slice()).next(),
@@ -37,6 +47,44 @@ impl TargetCell {
             TargetCell::LargestFirst => non_singleton
                 .max_by_key(|c| c.len())
                 .map(|c| c.as_slice()),
+            TargetCell::MostConstrained => {
+                let mut best: Option<(&'a [V], usize)> = None;
+                let mut cols: Vec<u32> = Vec::new();
+                for c in non_singleton {
+                    cols.clear();
+                    cols.extend(g.neighbors(c[0]).iter().map(|&w| pi.color_of(w)));
+                    cols.sort_unstable();
+                    cols.dedup();
+                    // Strict > keeps the first cell on ties, matching the
+                    // position-order tiebreak of the other selectors.
+                    if best.is_none_or(|(_, sat)| cols.len() > sat) {
+                        best = Some((c.as_slice(), cols.len()));
+                    }
+                }
+                best.map(|(c, _)| c)
+            }
+        }
+    }
+
+    /// Parses a `--target-cell` argument value.
+    pub fn parse(s: &str) -> Option<TargetCell> {
+        match s {
+            "first" => Some(TargetCell::FirstNonSingleton),
+            "smallest" => Some(TargetCell::SmallestFirst),
+            "largest" => Some(TargetCell::LargestFirst),
+            "most-constrained" => Some(TargetCell::MostConstrained),
+            _ => None,
+        }
+    }
+
+    /// The stable flag-value name
+    /// (`first`/`smallest`/`largest`/`most-constrained`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetCell::FirstNonSingleton => "first",
+            TargetCell::SmallestFirst => "smallest",
+            TargetCell::LargestFirst => "largest",
+            TargetCell::MostConstrained => "most-constrained",
         }
     }
 }
@@ -51,6 +99,13 @@ impl TargetCell {
 pub struct Config {
     /// Target cell selector.
     pub target_cell: TargetCell,
+    /// Refinement kernel dispatch (`refine::KernelKind`): which
+    /// [`Refiner`] backend every node refinement of the search uses.
+    /// Part of the config — and hence of `PartialEq` — so state keyed
+    /// to a configuration (the `core::Session` CombineCL memo) is
+    /// invalidated when the kernel changes, even though both kernels
+    /// produce identical certificates.
+    pub kernel: KernelKind,
     /// Use refinement traces as the node invariant `φ` (pruning `P_A`,
     /// `P_B`). Without it only automorphism pruning `P_C` applies.
     pub use_invariant: bool,
@@ -69,6 +124,7 @@ impl Config {
     pub fn bliss_like() -> Self {
         Config {
             target_cell: TargetCell::FirstNonSingleton,
+            kernel: KernelKind::Auto,
             use_invariant: true,
             record_tree: false,
             group_only: false,
@@ -80,6 +136,7 @@ impl Config {
     pub fn nauty_like() -> Self {
         Config {
             target_cell: TargetCell::SmallestFirst,
+            kernel: KernelKind::Auto,
             use_invariant: false,
             record_tree: false,
             group_only: false,
@@ -90,6 +147,7 @@ impl Config {
     pub fn traces_like() -> Self {
         Config {
             target_cell: TargetCell::LargestFirst,
+            kernel: KernelKind::Auto,
             use_invariant: true,
             record_tree: false,
             group_only: false,
@@ -234,6 +292,23 @@ pub fn try_canonical_form(
     config: &Config,
     budget: &Budget,
 ) -> Result<CanonResult, DviclError> {
+    let mut refiner = Refiner::with_kernel(config.kernel);
+    try_canonical_form_with(g, pi, config, budget, &mut refiner)
+}
+
+/// [`try_canonical_form`] reusing a caller-owned [`Refiner`], so a
+/// driver labeling many (sub)graphs — `core::Builder::combine_cl` runs
+/// one per leaf — pays for the refiner's scratch allocations once per
+/// worker instead of once per call. The refiner is retuned to
+/// `config.kernel` on entry; its buffers are reused as-is.
+pub fn try_canonical_form_with(
+    g: &Graph,
+    pi: &Coloring,
+    config: &Config,
+    budget: &Budget,
+    refiner: &mut Refiner,
+) -> Result<CanonResult, DviclError> {
+    refiner.set_kernel(config.kernel);
     if g.n() != pi.n() {
         return Err(DviclError::invalid(format!(
             "graph has {} vertices but the coloring covers {}",
@@ -265,7 +340,7 @@ pub fn try_canonical_form(
         } else {
             None
         },
-        refiner: Refiner::new(),
+        refiner,
     };
     if g.n() == 0 {
         return Ok(CanonResult {
@@ -317,8 +392,10 @@ struct Search<'a> {
     stats: SearchStats,
     tree: Option<SearchTree>,
     /// Reused refinement buffers: one refinement per DFS node, zero
-    /// per-node [`dvicl_refine::Partition`] allocations.
-    refiner: Refiner,
+    /// per-node [`dvicl_refine::Partition`] allocations. Borrowed from
+    /// the caller ([`try_canonical_form_with`]) so the buffers also
+    /// survive across searches.
+    refiner: &'a mut Refiner,
 }
 
 impl<'a> Search<'a> {
@@ -398,7 +475,7 @@ impl<'a> Search<'a> {
             }
         }
 
-        let target = self.config.target_cell.select(pi).map(|c| c.to_vec());
+        let target = self.config.target_cell.select(self.g, pi).map(|c| c.to_vec());
         let Some(target) = target else {
             return self.visit_leaf(pi, d, on_first, best_cmp, fixed);
         };

@@ -3,7 +3,7 @@
 //! find the full automorphism group, including on the refinement-defeating
 //! CFI instances.
 
-use dvicl_canon::{canonical_form, try_canonical_form, Budget, Config};
+use dvicl_canon::{canonical_form, try_canonical_form, Budget, Config, KernelKind, TargetCell};
 use dvicl_data::bench_graphs;
 use dvicl_graph::{Coloring, Graph, Perm, V};
 use dvicl_group::StabChain;
@@ -73,6 +73,48 @@ fn cfi_pairs_are_separated_by_all_configs() {
         let fb = canonical_form(&b, &pi, &config).form;
         assert_ne!(fa, fb, "{config:?} failed to separate the CFI pair");
     }
+}
+
+#[test]
+fn cfi_selector_portfolio_changes_nodes_not_certificates() {
+    // The target-cell selector steers *which* subtree the IR search
+    // explores first. On this refinement-defeating CFI instance the
+    // paper's first-non-singleton selector and the DSATUR-style
+    // most-constrained selector land on the same canonical leaf — the
+    // certificates are byte-identical — but reach it through different
+    // trees: the node counts differ. Every selector still separates the
+    // twisted pair, and swapping the refinement kernel changes neither
+    // the certificate nor the search shape, node for node.
+    let base = bench_graphs::cubic_circulant(12);
+    let a = bench_graphs::cfi(&base, false);
+    let b = bench_graphs::cfi(&base, true);
+    let pi = Coloring::unit(a.n());
+    let mut results = Vec::new();
+    for tc in [TargetCell::FirstNonSingleton, TargetCell::MostConstrained] {
+        let mut config = Config::bliss_like();
+        config.target_cell = tc;
+        let ra = canonical_form(&a, &pi, &config);
+        let rb = canonical_form(&b, &pi, &config);
+        assert_ne!(ra.form, rb.form, "{tc:?} failed to separate the CFI pair");
+        // Kernel choice must not even change the *work*: node-for-node
+        // identical search, byte-identical certificate.
+        config.kernel = KernelKind::Bitset;
+        let ra_bit = canonical_form(&a, &pi, &config);
+        assert_eq!(ra.form, ra_bit.form, "{tc:?}: kernel changed the certificate");
+        assert_eq!(
+            ra.stats.nodes, ra_bit.stats.nodes,
+            "{tc:?}: kernel changed the search shape"
+        );
+        results.push(ra);
+    }
+    assert_eq!(
+        results[0].form, results[1].form,
+        "both selectors must reach the same canonical leaf here"
+    );
+    assert_ne!(
+        results[0].stats.nodes, results[1].stats.nodes,
+        "the selectors must explore differently-shaped trees"
+    );
 }
 
 #[test]

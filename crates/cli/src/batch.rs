@@ -112,11 +112,11 @@ impl Service {
             Some(path) => FingerprintIndex::load(Path::new(path), crate::paranoid())?,
             None => FingerprintIndex::new(),
         };
-        // traces-like leaves: the same robust configuration the other
-        // subcommands build with; the global `--threads` width applies
-        // to every request's build.
+        // The same leaf configuration the other subcommands build with
+        // (traces-like plus any --kernel / --target-cell overrides); the
+        // global --threads width applies to every request's build.
         let session = Session::new(DviclOptions {
-            leaf_config: dvicl_canon::Config::traces_like(),
+            leaf_config: crate::leaf_config(),
             threads: crate::threads(),
             ..DviclOptions::default()
         });

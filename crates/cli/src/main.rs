@@ -77,6 +77,47 @@ fn threads() -> usize {
     THREADS.load(Ordering::Relaxed)
 }
 
+/// The `--kernel` selection (default `auto`), stored as the
+/// `KernelKind` discriminant. Process-wide like [`THREADS`]: every
+/// refinement in the process dispatches through the same kernel choice,
+/// and certificates are byte-identical under any choice.
+static KERNEL: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+fn kernel() -> dvicl_canon::KernelKind {
+    match KERNEL.load(Ordering::Relaxed) {
+        1 => dvicl_canon::KernelKind::General,
+        2 => dvicl_canon::KernelKind::Bitset,
+        _ => dvicl_canon::KernelKind::Auto,
+    }
+}
+
+/// The `--target-cell` override; `usize::MAX` means "not set" so each
+/// subcommand keeps its configuration's own selector default.
+static TARGET_CELL: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(usize::MAX);
+
+fn target_cell() -> Option<dvicl_canon::TargetCell> {
+    match TARGET_CELL.load(Ordering::Relaxed) {
+        0 => Some(dvicl_canon::TargetCell::FirstNonSingleton),
+        1 => Some(dvicl_canon::TargetCell::SmallestFirst),
+        2 => Some(dvicl_canon::TargetCell::LargestFirst),
+        3 => Some(dvicl_canon::TargetCell::MostConstrained),
+        _ => None,
+    }
+}
+
+/// The leaf IR configuration every build in the process uses:
+/// traces-like (the robust configuration on regular graphs) with the
+/// `--kernel` and `--target-cell` overrides applied.
+pub(crate) fn leaf_config() -> dvicl_canon::Config {
+    let mut cfg = dvicl_canon::Config::traces_like();
+    cfg.kernel = kernel();
+    if let Some(tc) = target_cell() {
+        cfg.target_cell = tc;
+    }
+    cfg
+}
+
 /// Writes a line to stdout, exiting quietly with status 0 when the
 /// consumer closed the pipe early — `dvicl aut G | head` is a normal
 /// way to use the tool, not a panic.
@@ -180,7 +221,7 @@ impl ObsConfig {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  dvicl canon    <GRAPH>\n  dvicl aut      <GRAPH>\n  dvicl iso      <GRAPH> <GRAPH>\n  dvicl tree     <GRAPH> [--render]\n  dvicl ssm      <GRAPH> <v,v,...> [--limit N]\n  dvicl ksym     <GRAPH> <k>\n  dvicl quotient <GRAPH>\n  dvicl dataset  <NAME>\n  dvicl convert  <GRAPH>\n  dvicl batch    [--index P] [--save P] [--req-timeout D] [--req-max-nodes N] [QUERIES]\n  dvicl serve    [--index P] [--save P] [--req-timeout D] [--req-max-nodes N]\n\nGRAPH: edge-list path, '-' for stdin (at most once), or g6:<graph6-literal>\nQUERIES: lines of `insert|lookup|groupsize g6:<literal>|el:u-v,u-v,...`\n\nglobal flags (any subcommand):\n  --timeout <DUR>      wall-clock budget (100ms, 5s, 2m, ...)\n  --max-nodes <N>      work budget in search/build nodes\n  --threads <N>        worker threads for tree builds (default 1, 0 = all cores)\n  --stats              counter + phase-time report on stderr\n  --trace-json <PATH>  NDJSON events + summary to PATH\n  --paranoid           re-check every result against its witness\n  --fault-plan <SPEC>  deterministic fault injection (see DESIGN.md §11)\n\nexit codes: 0 ok, 2 bad input, 3 budget exceeded, 4 witness check failed"
+    "usage:\n  dvicl canon    <GRAPH>\n  dvicl aut      <GRAPH>\n  dvicl iso      <GRAPH> <GRAPH>\n  dvicl tree     <GRAPH> [--render]\n  dvicl ssm      <GRAPH> <v,v,...> [--limit N]\n  dvicl ksym     <GRAPH> <k>\n  dvicl quotient <GRAPH>\n  dvicl dataset  <NAME>\n  dvicl convert  <GRAPH>\n  dvicl batch    [--index P] [--save P] [--req-timeout D] [--req-max-nodes N] [QUERIES]\n  dvicl serve    [--index P] [--save P] [--req-timeout D] [--req-max-nodes N]\n\nGRAPH: edge-list path, '-' for stdin (at most once), or g6:<graph6-literal>\nQUERIES: lines of `insert|lookup|groupsize g6:<literal>|el:u-v,u-v,...`\n\nglobal flags (any subcommand):\n  --timeout <DUR>      wall-clock budget (100ms, 5s, 2m, ...)\n  --max-nodes <N>      work budget in search/build nodes\n  --threads <N>        worker threads for tree builds (default 1, 0 = all cores)\n  --kernel <K>         refinement kernel: auto|general|bitset (default auto)\n  --target-cell <T>    IR target cell: first|smallest|largest|most-constrained\n  --stats              counter + phase-time report on stderr\n  --trace-json <PATH>  NDJSON events + summary to PATH\n  --paranoid           re-check every result against its witness\n  --fault-plan <SPEC>  deterministic fault injection (see DESIGN.md §11)\n\nexit codes: 0 ok, 2 bad input, 3 budget exceeded, 4 witness check failed"
 }
 
 /// A CLI failure: either a usage mistake (print the help text, exit 2)
@@ -231,6 +272,24 @@ fn global_flags(args: Vec<String>) -> Result<(Vec<String>, Budget, ObsConfig), D
                     DviclError::invalid(format!("--threads: not a count: {v:?}"))
                 })?;
                 THREADS.store(n, Ordering::Relaxed);
+            }
+            "--kernel" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| DviclError::invalid("--kernel needs auto|general|bitset"))?;
+                let k = dvicl_canon::KernelKind::parse(&v).ok_or_else(|| {
+                    DviclError::invalid(format!("--kernel: unknown kernel: {v:?}"))
+                })?;
+                KERNEL.store(k as usize, Ordering::Relaxed);
+            }
+            "--target-cell" => {
+                let v = it.next().ok_or_else(|| {
+                    DviclError::invalid("--target-cell needs first|smallest|largest|most-constrained")
+                })?;
+                let t = dvicl_canon::TargetCell::parse(&v).ok_or_else(|| {
+                    DviclError::invalid(format!("--target-cell: unknown selector: {v:?}"))
+                })?;
+                TARGET_CELL.store(t as usize, Ordering::Relaxed);
             }
             "--fault-plan" => {
                 let v = it
@@ -332,11 +391,12 @@ fn load_text(text: &str) -> Result<Graph, DviclError> {
 }
 
 fn build(g: &Graph, budget: &Budget) -> Result<AutoTree, DviclError> {
-    // traces-like leaves: the robust configuration on regular graphs.
     // `--threads` only changes wall-clock time: the parallel build's
     // deterministic merge keeps the tree byte-identical (DESIGN.md §14).
+    // Likewise `--kernel`: both refinement kernels produce identical
+    // equitable partitions, so the tree is byte-identical under either.
     let opts = DviclOptions {
-        leaf_config: dvicl_canon::Config::traces_like(),
+        leaf_config: leaf_config(),
         threads: threads(),
         ..DviclOptions::default()
     };

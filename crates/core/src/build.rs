@@ -5,11 +5,11 @@
 use crate::arena::SubArena;
 use crate::sub::{Division, Sub};
 use crate::tree::{AutoTree, Node, NodeId, NodeKind, PoolRange, EMPTY, NO_PARENT};
-use dvicl_canon::{try_canonical_form as ir_try_canonical_form, Config};
+use dvicl_canon::{try_canonical_form_with as ir_try_canonical_form_with, Config};
 use dvicl_govern::{Budget, DviclError, Resource};
 use dvicl_graph::{CanonForm, Coloring, FormRef, Graph, Perm, V};
 use dvicl_obs::{self as obs, Counter};
-use dvicl_refine::try_refine;
+use dvicl_refine::Refiner;
 use rustc_hash::FxHashMap;
 
 /// Options for the DviCL run. Resource limits are *not* options: they
@@ -120,7 +120,8 @@ pub(crate) fn try_build_autotree_in(
         )));
     }
     budget.check()?;
-    let pi = try_refine(g, pi0, budget)?.coloring;
+    scratch.refiner.set_kernel(opts.leaf_config.kernel);
+    let pi = scratch.refiner.try_refine(g, pi0, budget)?.coloring;
     run_build(scratch, g, pi, opts, budget, false)
 }
 
@@ -216,7 +217,8 @@ pub(crate) fn build_autotree_whole_leaf_in(
         )));
     }
     budget.check()?;
-    let pi = try_refine(g, pi0, budget)?.coloring;
+    scratch.refiner.set_kernel(opts.leaf_config.kernel);
+    let pi = scratch.refiner.try_refine(g, pi0, budget)?.coloring;
     run_build(scratch, g, pi, opts, budget, true)
 }
 
@@ -372,6 +374,12 @@ pub(crate) struct Scratch {
     pub(crate) cl_cache: FxHashMap<Vec<u8>, ClEntry>,
     /// Reused encode buffer for memo probes: allocation-free on hits.
     pub(crate) key_scratch: Vec<u8>,
+    /// Per-worker refinement kernel state: the root refinement and every
+    /// `CombineCL` leaf labeling of a build run through this refiner, so
+    /// kernel scratch (partitions, bitset masks, radix buffers) is
+    /// allocated once per worker and never shared — the same exclusive
+    /// ownership discipline as the arena and memo shard beside it.
+    pub(crate) refiner: Refiner,
     /// The helper workers' scratches for parallel builds (empty until a
     /// `threads > 1` build runs). Worker `w` (1-based) exclusively owns
     /// `workers[w - 1]` for the duration of a `dvicl_pool::scope`;
@@ -387,6 +395,7 @@ impl Scratch {
             arena: SubArena::new(),
             cl_cache: FxHashMap::default(),
             key_scratch: Vec::new(),
+            refiner: Refiner::new(),
             workers: Vec::new(),
         }
     }
@@ -953,8 +962,13 @@ impl<'a> Builder<'a> {
             }
             None => {
                 obs::bump(Counter::CacheClMisses);
-                let res =
-                    ir_try_canonical_form(&local_g, &local_pi, &self.opts.leaf_config, self.budget)?;
+                let res = ir_try_canonical_form_with(
+                    &local_g,
+                    &local_pi,
+                    &self.opts.leaf_config,
+                    self.budget,
+                    &mut self.scratch.refiner,
+                )?;
                 self.scratch.cl_cache
                     .insert(key.clone(), (res.labeling.clone(), res.generators.clone()));
                 (res.labeling, res.generators)

@@ -260,7 +260,7 @@ pub fn hit_counts() -> Vec<(&'static str, u64)> {
 /// `checkpoint_registry` integration test asserts the fault sweep
 /// replays exactly this set. Adding a checkpoint without registering
 /// it here (or vice versa) fails CI.
-pub const CHECKPOINT_SITES: [&str; 13] = [
+pub const CHECKPOINT_SITES: [&str; 14] = [
     "canon.dfs",
     "core.arena_carve",
     "core.build_node",
@@ -273,6 +273,7 @@ pub const CHECKPOINT_SITES: [&str; 13] = [
     "index.load",
     "pool.spawn",
     "refine.individualize",
+    "refine.kernel",
     "refine.refine",
 ];
 

@@ -1,0 +1,540 @@
+//! Pluggable refinement kernels: the strategy that turns one splitter
+//! into cell splits.
+//!
+//! [`Partition`] owns the worklist discipline (pop splitter → split
+//! affected cells → enqueue fragments) and the *rewrite* half of every
+//! split ([`Partition::rewrite_split`]: Hopcroft's largest-fragment
+//! rule, span rewriting, singleton tracking, the trace hash). A
+//! [`RefineKernel`] owns only the *counting and ordering* half: given a
+//! splitter cell, produce for each affected cell its members as
+//! `(neighbor-count, vertex)` pairs sorted ascending. Because both
+//! kernels feed the same rewrite path with identically-ordered members,
+//! their partitions, traces and downstream canonical certificates are
+//! byte-identical by construction — the parity suites in
+//! `crates/refine/tests/kernel_parity.rs` pin this.
+//!
+//! Two kernels exist:
+//!
+//! * [`GeneralKernel`] — the original sorting-based kernel: scatter
+//!   neighbor counts over the splitter's adjacency lists, group touched
+//!   vertices by cell, comparison-sort each affected cell by
+//!   `(count, vertex)`. Allocates its scratch per splitter, exactly as
+//!   the pre-kernel refiner did, so it doubles as the measurement
+//!   baseline.
+//! * [`BitsetKernel`] — the dense kernel: persistent scratch buffers, a
+//!   u64-word *cell-membership bitmask* whose set-bit order enumerates
+//!   cell members in ascending vertex id, and a degree-bucket radix
+//!   (counting) split in place of the comparison sort. For graphs small
+//!   enough that adjacency rows fit in a few words each
+//!   ([`POPCOUNT_MAX_N`]), it additionally builds u64-word adjacency
+//!   bitset rows and counts splitter neighbors with `popcount(row &
+//!   splitter_mask)` instead of scattering — the word-parallel path
+//!   that pays off on the dense local subgraphs `CombineCL` labels.
+//!
+//! [`KernelKind`] is the dispatch knob threaded from the CLI and bench
+//! binaries through `canon::Config` and `core::Session` down to
+//! [`crate::Refiner`].
+
+use crate::partition::Partition;
+use dvicl_graph::{Graph, V};
+use dvicl_obs::{self as obs, Counter};
+
+/// Kernel selection, as chosen on the command line (`--kernel`) and
+/// carried by `canon::Config`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Pick per graph: the bitset kernel at or below [`AUTO_DENSE_MAX`]
+    /// vertices (where its setup cost amortizes — the leaf subgraphs of
+    /// the divide recursion), the general kernel above.
+    #[default]
+    Auto,
+    /// Always the sorting-based [`GeneralKernel`].
+    General,
+    /// Always the dense [`BitsetKernel`].
+    Bitset,
+}
+
+impl KernelKind {
+    /// Parses a `--kernel` argument value.
+    pub fn parse(s: &str) -> Option<KernelKind> {
+        match s {
+            "auto" => Some(KernelKind::Auto),
+            "general" => Some(KernelKind::General),
+            "bitset" => Some(KernelKind::Bitset),
+            _ => None,
+        }
+    }
+
+    /// The stable flag-value name (`auto`/`general`/`bitset`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Auto => "auto",
+            KernelKind::General => "general",
+            KernelKind::Bitset => "bitset",
+        }
+    }
+
+    /// Whether this kind resolves to the dense kernel on an `n`-vertex
+    /// graph.
+    pub fn is_dense_for(self, n: usize) -> bool {
+        match self {
+            KernelKind::Auto => n <= AUTO_DENSE_MAX,
+            KernelKind::General => false,
+            KernelKind::Bitset => true,
+        }
+    }
+}
+
+/// `Auto` resolves to the bitset kernel at or below this vertex count.
+///
+/// The dense kernel's per-refinement setup is O(n/64) words of mask
+/// scratch plus, under [`POPCOUNT_MAX_N`], an O(n·n/64) adjacency-row
+/// build; 4096 keeps cell masks at ≤64 words, so the mask walk that
+/// replaces per-cell sorting stays cheap on every affected cell
+/// (DESIGN.md §15 records the dispatch rationale, EXPERIMENTS.md the
+/// measured crossover).
+pub const AUTO_DENSE_MAX: usize = 4096;
+
+/// The bitset kernel builds full adjacency bitset rows — and counts
+/// splitter neighbors by `popcount` — at or below this vertex count.
+/// 256 vertices is 4 words per row (8 KiB of rows), small enough that
+/// the whole structure stays cache-resident and the per-run rebuild is
+/// cheaper than the scatter passes it replaces.
+pub const POPCOUNT_MAX_N: usize = 256;
+
+/// Cells shorter than this are split with a comparison sort even inside
+/// the dense kernel: the radix path's O(n/64)-word mask walk only
+/// amortizes once the sort it replaces is superlinear in practice.
+const RADIX_MIN_LEN: usize = 32;
+
+/// The per-splitter strategy behind [`crate::Refiner`]: how to count
+/// splitter-neighbors and order cell members. Implementations must feed
+/// [`Partition::rewrite_split`] members sorted ascending by
+/// `(count, vertex)` — that contract is what makes kernels
+/// interchangeable without disturbing traces or certificates.
+pub trait RefineKernel {
+    /// Prepares per-graph state. Called once per refinement run, before
+    /// the worklist loop; `g` is the graph every subsequent
+    /// [`RefineKernel::split_by`] of the run will see.
+    fn reset(&mut self, g: &Graph);
+
+    /// Uses the cell at start `s` as a splitter: counts each vertex's
+    /// neighbors in that cell and splits every affected cell via
+    /// [`Partition::rewrite_split`]. Returns the updated trace.
+    fn split_by(&mut self, p: &mut Partition, g: &Graph, s: u32, trace: u64) -> u64;
+}
+
+/// The original sorting-based kernel (scatter counts, comparison sort
+/// per affected cell). Stateless: its scratch is allocated per splitter,
+/// as the pre-kernel refiner always did.
+#[derive(Default)]
+pub struct GeneralKernel;
+
+impl RefineKernel for GeneralKernel {
+    fn reset(&mut self, _g: &Graph) {}
+
+    fn split_by(&mut self, p: &mut Partition, g: &Graph, s: u32, mut trace: u64) -> u64 {
+        let len = p.cell_len[s as usize] as usize;
+        let s = s as usize;
+        // Snapshot the splitter's members (cells can move during splitting).
+        let splitter: Vec<V> = p.lab[s..s + len].to_vec();
+        // Count neighbors in the splitter.
+        let mut touched: Vec<V> = Vec::new();
+        for &u in &splitter {
+            for &w in g.neighbors(u) {
+                if p.cnt[w as usize] == 0 {
+                    touched.push(w);
+                }
+                p.cnt[w as usize] += 1;
+            }
+        }
+        if touched.is_empty() {
+            return trace;
+        }
+        // Group the touched vertices by their cell (flag-array dedup).
+        let mut affected_cells: Vec<u32> = Vec::new();
+        for &w in &touched {
+            let c = p.cell_start[w as usize];
+            if p.cell_len[c as usize] > 1 && !p.in_affected[c as usize] {
+                p.in_affected[c as usize] = true;
+                affected_cells.push(c);
+            }
+        }
+        affected_cells.sort_unstable();
+        for &c in &affected_cells {
+            p.in_affected[c as usize] = false;
+        }
+        for c in affected_cells {
+            // Gather (count, vertex) and sort; ties on equal counts sort
+            // by vertex id, fixing the output representation.
+            let c = c as usize;
+            let clen = p.cell_len[c] as usize;
+            let mut members: Vec<(u32, V)> = p.lab[c..c + clen]
+                .iter()
+                .map(|&v| (p.cnt[v as usize], v))
+                .collect();
+            members.sort_unstable();
+            trace = p.rewrite_split(c, &members, trace);
+        }
+        // Clear counts.
+        for &w in &touched {
+            p.cnt[w as usize] = 0;
+        }
+        trace
+    }
+}
+
+/// Where [`BitsetKernel::split_cell`] reads a member's splitter-neighbor
+/// count from.
+#[derive(Clone, Copy)]
+enum CountSource {
+    /// `Partition::cnt`, filled by a scatter pass.
+    Scatter,
+    /// `popcount(adjacency row & splitter mask)`.
+    Popcount,
+}
+
+/// The dense kernel: persistent scratch, cell-membership bitmasks for
+/// ascending-vertex enumeration, degree-bucket radix splits, and — on
+/// graphs of at most [`POPCOUNT_MAX_N`] vertices — u64-word adjacency
+/// bitset rows with popcount-counted splits.
+#[derive(Default)]
+pub struct BitsetKernel {
+    /// Words per n-bit row (`ceil(n / 64)`).
+    words: usize,
+    /// Vertex count of the current run's graph.
+    n: usize,
+    /// Adjacency bitset rows, `n * words` words; built lazily by the
+    /// first popcount-eligible splitter of a run (at most
+    /// [`POPCOUNT_MAX_N`] vertices), empty until then. Cleared by
+    /// [`RefineKernel::reset`] on every run — rows are never cached
+    /// across runs, so a stale graph-to-rows association cannot exist.
+    adj: Vec<u64>,
+    /// Splitter-membership mask (popcount path only).
+    splitter_mask: Vec<u64>,
+    /// Scratch mask of one cell's members; its set-bit walk enumerates
+    /// them in ascending vertex id, which is what keeps the radix
+    /// split's output ordered identically to the general kernel's full
+    /// `(count, vertex)` sort. Always left all-zero between splits.
+    cell_mask: Vec<u64>,
+    /// Vertices with a nonzero scatter count (scatter path).
+    touched: Vec<V>,
+    /// Affected (or, on the popcount path, all non-singleton) cell
+    /// starts, ascending.
+    affected: Vec<u32>,
+    /// One cell's `(count, vertex)` pairs in ascending vertex order.
+    members: Vec<(u32, V)>,
+    /// Radix-ordered copy of `members`.
+    sorted: Vec<(u32, V)>,
+    /// Count histogram for the radix split.
+    hist: Vec<u32>,
+    /// Per-cell aggregates over *touched* members (scatter path),
+    /// indexed by cell start and reset through `affected` after every
+    /// splitter: how many members were touched, and the min/max of
+    /// their counts. A cell splits iff some member was untouched
+    /// (`touched < len`, giving a zero-count fragment) or the touched
+    /// counts differ — decidable in O(touched) without scanning the
+    /// cell, which is what makes repeatedly-grazed hub cells cheap.
+    touched_cnt: Vec<u32>,
+    touched_min: Vec<u32>,
+    touched_max: Vec<u32>,
+}
+
+impl BitsetKernel {
+    /// A dense kernel with empty (unallocated) scratch.
+    pub fn new() -> BitsetKernel {
+        BitsetKernel::default()
+    }
+
+    /// A member's splitter-neighbor count under `src`.
+    #[inline]
+    fn count_of(&self, p: &Partition, src: CountSource, v: V) -> u32 {
+        match src {
+            CountSource::Scatter => p.cnt[v as usize],
+            CountSource::Popcount => {
+                let row = &self.adj[v as usize * self.words..(v as usize + 1) * self.words];
+                let mut cnt = 0u32;
+                for (a, b) in row.iter().zip(&self.splitter_mask) {
+                    cnt += (a & b).count_ones();
+                }
+                cnt
+            }
+        }
+    }
+
+    /// Splits the cell `[c, c+len)`, feeding
+    /// [`Partition::rewrite_split`] members ordered ascending by
+    /// `(count, vertex)`. `range` is the count range `(min, max)` when
+    /// the caller already knows it (the scatter path's touched
+    /// aggregates); otherwise one gather pass computes it and exits
+    /// early on uniform cells — which the general kernel fully sorts.
+    ///
+    /// Splitting cells go through the degree-bucket radix path (stable
+    /// counting sort) when large enough, or a plain comparison sort when
+    /// the cell is too small for a histogram to pay, or the counts too
+    /// spread for one. The radix path's stability must run over members
+    /// in ascending vertex id to reproduce the general kernel's
+    /// `(count, vertex)` sort: cell spans are almost always already
+    /// ascending (every fragment [`Partition::rewrite_split`] writes
+    /// is), so the gather pass checks for that and sorts straight off
+    /// the span; a non-ascending span (an individualization swap, an
+    /// arbitrary seed coloring) falls back to the cell-membership mask
+    /// walk, whose set-bit order restores ascending ids. Returns the
+    /// updated trace.
+    fn split_cell(
+        &mut self,
+        p: &mut Partition,
+        c: usize,
+        len: usize,
+        src: CountSource,
+        range: Option<(u32, u32)>,
+        trace: u64,
+    ) -> u64 {
+        // Gather (count, vertex) in span order, tracking the count range
+        // when unknown and whether the span is ascending by vertex id.
+        let mut min_c = u32::MAX;
+        let mut max_c = 0u32;
+        let mut ascending = true;
+        let mut prev = 0 as V;
+        self.members.clear();
+        for i in c..c + len {
+            let v = p.lab[i];
+            ascending &= i == c || v > prev;
+            prev = v;
+            let cv = self.count_of(p, src, v);
+            min_c = min_c.min(cv);
+            max_c = max_c.max(cv);
+            self.members.push((cv, v));
+        }
+        if let Some((lo, hi)) = range {
+            debug_assert_eq!((lo, hi), (min_c, max_c));
+            (min_c, max_c) = (lo, hi);
+        }
+        if min_c == max_c {
+            return trace; // uniform counts: no split
+        }
+        if matches!(src, CountSource::Popcount) {
+            obs::bump(Counter::RefineSplitsPopcount);
+        }
+        let spread = (max_c - min_c) as usize;
+        if len >= RADIX_MIN_LEN && spread <= 4 * len {
+            // Degree-bucket radix split: histogram the counts, then
+            // place each member stably into its count bucket.
+            self.hist.clear();
+            self.hist.resize(spread + 1, 0);
+            for &(cv, _) in &self.members {
+                self.hist[(cv - min_c) as usize] += 1;
+            }
+            let mut run = 0u32;
+            for h in &mut self.hist {
+                let start = run;
+                run += *h;
+                *h = start;
+            }
+            self.sorted.clear();
+            self.sorted.resize(len, (0, 0));
+            if ascending {
+                // The span already enumerates members in ascending
+                // vertex id: one stable sequential placement pass.
+                for &(cv, v) in &self.members {
+                    let slot = self.hist[(cv - min_c) as usize];
+                    self.sorted[slot as usize] = (cv, v);
+                    self.hist[(cv - min_c) as usize] = slot + 1;
+                }
+            } else {
+                // Mask walk: set bits enumerate members in ascending
+                // vertex id, restoring the order the span lost.
+                for &(_, v) in &self.members {
+                    self.cell_mask[(v >> 6) as usize] |= 1u64 << (v & 63);
+                }
+                for w in 0..self.words {
+                    let mut bits = self.cell_mask[w];
+                    // Clearing each word as it is read restores the
+                    // mask's all-zero resting state without a second
+                    // pass.
+                    self.cell_mask[w] = 0;
+                    while bits != 0 {
+                        // dvicl-lint: allow(narrowing-cast) -- w*64 + bit index < n <= V::MAX
+                        let v = ((w << 6) + bits.trailing_zeros() as usize) as V;
+                        bits &= bits - 1;
+                        let cv = self.count_of(p, src, v);
+                        let slot = self.hist[(cv - min_c) as usize];
+                        self.sorted[slot as usize] = (cv, v);
+                        self.hist[(cv - min_c) as usize] = slot + 1;
+                    }
+                }
+            }
+            obs::bump(Counter::RadixSplits);
+            let sorted = std::mem::take(&mut self.sorted);
+            let trace = p.rewrite_split(c, &sorted, trace);
+            self.sorted = sorted;
+            trace
+        } else {
+            // Small cell or counts too spread out for a histogram:
+            // comparison sort. Sorting by (count, vertex) lands in the
+            // same shared order.
+            self.members.sort_unstable();
+            let members = std::mem::take(&mut self.members);
+            let trace = p.rewrite_split(c, &members, trace);
+            self.members = members;
+            trace
+        }
+    }
+
+    /// Word-parallel splitter pass: counts come from
+    /// `popcount(adjacency row & splitter mask)` over every
+    /// non-singleton cell (cells disjoint from the splitter's
+    /// neighborhood count uniformly zero and split nothing, so skipping
+    /// the scatter-based discovery is trace-neutral).
+    fn split_by_popcount(&mut self, p: &mut Partition, g: &Graph, s: usize, len: usize, mut trace: u64) -> u64 {
+        if self.adj.is_empty() {
+            // Lazy row build: only runs that see a popcount-eligible
+            // splitter pay for it.
+            self.splitter_mask.clear();
+            self.splitter_mask.resize(self.words, 0);
+            self.adj.resize(self.n * self.words, 0);
+            for u in 0..self.n {
+                // dvicl-lint: allow(narrowing-cast) -- u < n <= V::MAX
+                for &w in g.neighbors(u as V) {
+                    self.adj[u * self.words + (w >> 6) as usize] |= 1u64 << (w & 63);
+                }
+            }
+        }
+        for w in &mut self.splitter_mask {
+            *w = 0;
+        }
+        for &u in &p.lab[s..s + len] {
+            self.splitter_mask[(u >> 6) as usize] |= 1u64 << (u & 63);
+        }
+        // Snapshot the non-singleton cell starts before any split moves
+        // them — the same pre-split discovery discipline as the scatter
+        // path (a split only subdivides a cell's own span, so the other
+        // snapshot entries stay valid cell starts).
+        self.affected.clear();
+        let n = p.n();
+        let mut c = 0usize;
+        while c < n {
+            let clen = p.cell_len[c] as usize;
+            if clen > 1 {
+                // dvicl-lint: allow(narrowing-cast) -- c < n <= V::MAX
+                self.affected.push(c as u32);
+            }
+            c += clen;
+        }
+        for i in 0..self.affected.len() {
+            let c = self.affected[i] as usize;
+            let clen = p.cell_len[c] as usize;
+            trace = self.split_cell(p, c, clen, CountSource::Popcount, None, trace);
+        }
+        trace
+    }
+
+    /// Scatter-counting splitter pass (same discovery order as the
+    /// general kernel, persistent buffers) with the touched-aggregate
+    /// uniformity test and radix splits. No splitter snapshot is taken:
+    /// the scatter loop finishes before any split moves `lab`, so the
+    /// splitter's span is stable while it is read.
+    fn split_by_scatter(
+        &mut self,
+        p: &mut Partition,
+        g: &Graph,
+        s: usize,
+        len: usize,
+        mut trace: u64,
+    ) -> u64 {
+        self.touched.clear();
+        for i in s..s + len {
+            let u = p.lab[i];
+            for &w in g.neighbors(u) {
+                if p.cnt[w as usize] == 0 {
+                    self.touched.push(w);
+                }
+                p.cnt[w as usize] += 1;
+            }
+        }
+        if self.touched.is_empty() {
+            return trace;
+        }
+        // Discover affected cells and aggregate their touched members
+        // (counts are final once the scatter loop above completes).
+        self.affected.clear();
+        for i in 0..self.touched.len() {
+            let w = self.touched[i];
+            let c = p.cell_start[w as usize] as usize;
+            if p.cell_len[c] <= 1 {
+                continue;
+            }
+            if !p.in_affected[c] {
+                p.in_affected[c] = true;
+                // dvicl-lint: allow(narrowing-cast) -- c < n <= V::MAX
+                self.affected.push(c as u32);
+            }
+            let cv = p.cnt[w as usize];
+            self.touched_cnt[c] += 1;
+            self.touched_min[c] = self.touched_min[c].min(cv);
+            self.touched_max[c] = self.touched_max[c].max(cv);
+        }
+        self.affected.sort_unstable();
+        for i in 0..self.affected.len() {
+            let c = self.affected[i] as usize;
+            p.in_affected[c] = false;
+            let clen = p.cell_len[c] as usize;
+            let tc = self.touched_cnt[c] as usize;
+            let (lo, hi) = (self.touched_min[c], self.touched_max[c]);
+            self.touched_cnt[c] = 0;
+            self.touched_min[c] = u32::MAX;
+            self.touched_max[c] = 0;
+            // Uniform iff every member was touched and with the same
+            // count (untouched members count zero, touched are >= 1) —
+            // skip such cells without scanning them, matching the
+            // general kernel's uniform no-op exactly.
+            if tc == clen && lo == hi {
+                continue;
+            }
+            // Untouched members (if any) count zero, below every touched
+            // member's count of at least one.
+            let min_c = if tc < clen { 0 } else { lo };
+            trace = self.split_cell(p, c, clen, CountSource::Scatter, Some((min_c, hi)), trace);
+        }
+        for i in 0..self.touched.len() {
+            p.cnt[self.touched[i] as usize] = 0;
+        }
+        trace
+    }
+}
+
+impl RefineKernel for BitsetKernel {
+    fn reset(&mut self, g: &Graph) {
+        let n = g.n();
+        self.n = n;
+        self.words = n.div_ceil(64);
+        self.cell_mask.clear();
+        self.cell_mask.resize(self.words, 0);
+        self.adj.clear();
+        // Scatter-path aggregate arrays, at their resting state (no
+        // touched members recorded); the per-splitter loop in
+        // `split_by_scatter` restores this state after each use.
+        self.touched_cnt.clear();
+        self.touched_cnt.resize(n, 0);
+        self.touched_min.clear();
+        self.touched_min.resize(n, u32::MAX);
+        self.touched_max.clear();
+        self.touched_max.resize(n, 0);
+    }
+
+    fn split_by(&mut self, p: &mut Partition, g: &Graph, s: u32, trace: u64) -> u64 {
+        let len = p.cell_len[s as usize] as usize;
+        let s = s as usize;
+        // Popcount pays when the splitter is large and the graph dense
+        // enough: scatter costs the splitter's degree sum
+        // (≈ len · 2m/n), popcount one masked row scan per vertex
+        // (≈ n · words). Small (typically singleton) splitters — the
+        // bulk of every run — stay on the scatter path even when rows
+        // are available.
+        if self.n <= POPCOUNT_MAX_N && 2 * len * g.m() >= self.n * self.n * self.words {
+            self.split_by_popcount(p, g, s, len, trace)
+        } else {
+            self.split_by_scatter(p, g, s, len, trace)
+        }
+    }
+}

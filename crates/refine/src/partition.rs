@@ -5,24 +5,34 @@
 //! cell containing `v` (which *is* the vertex's color under the paper's
 //! color definition), and `cell_len[s]` is the length of the cell starting
 //! at position `s` (meaningful only at start positions).
+//!
+//! How a splitter's neighbor counts are computed and how affected cells
+//! are ordered is delegated to a [`RefineKernel`]
+//! (`crates/refine/src/kernel.rs`); the worklist discipline and the
+//! rewrite half of every split ([`Partition::rewrite_split`]) live here,
+//! shared by every kernel, so kernels cannot diverge on the parts that
+//! determine traces and certificates.
 
+use crate::kernel::RefineKernel;
 use dvicl_govern::{Budget, DviclError};
 use dvicl_graph::{Coloring, Graph, V};
 use std::collections::VecDeque;
 
 /// An ordered partition of `0..n` supporting splitter-based refinement.
 pub struct Partition {
-    lab: Vec<V>,
-    pos: Vec<u32>,
-    cell_start: Vec<u32>,
-    cell_len: Vec<u32>,
-    // Scratch: neighbor counts per vertex during a splitter pass.
-    cnt: Vec<u32>,
+    pub(crate) lab: Vec<V>,
+    pub(crate) pos: Vec<u32>,
+    pub(crate) cell_start: Vec<u32>,
+    pub(crate) cell_len: Vec<u32>,
+    // Scratch: neighbor counts per vertex during a splitter pass (owned
+    // here rather than by the kernels so scatter-counting kernels share
+    // one zeroed array with the reset discipline).
+    pub(crate) cnt: Vec<u32>,
     // Worklist of cell start positions + membership flags.
     queue: VecDeque<u32>,
     in_queue: Vec<bool>,
     // Scratch: dedup flags for cells touched by the current splitter.
-    in_affected: Vec<bool>,
+    pub(crate) in_affected: Vec<bool>,
     // Vertices whose cells became singletons during the current run, in
     // creation order (isomorphism-invariant, since creation follows the
     // invariant queue discipline).
@@ -159,12 +169,12 @@ impl Partition {
         }
     }
 
-    /// Refines to the coarsest equitable partition, returning the trace
-    /// hash. All current cells are used as initial splitters; every
-    /// singleton cell of the *result* counts as newly created.
-    pub fn refine(&mut self, g: &Graph) -> u64 {
+    /// Refines to the coarsest equitable partition using `k`, returning
+    /// the trace hash. All current cells are used as initial splitters;
+    /// every singleton cell of the *result* counts as newly created.
+    pub fn refine(&mut self, g: &Graph, k: &mut dyn RefineKernel) -> u64 {
         self.seed_refine();
-        self.run(g, 0x5ee2_c3a1_d00d_f00d, None)
+        self.run(g, k, 0x5ee2_c3a1_d00d_f00d, None)
             // dvicl-lint: allow(panic-freedom) -- run() only errs on budget exhaustion, and no budget is passed here
             .expect("un-budgeted refinement cannot fail")
     }
@@ -172,9 +182,14 @@ impl Partition {
     /// Budgeted [`Partition::refine`]: spends one work unit per splitter
     /// processed, so a deadline interrupts refinement itself, not just
     /// the search loop around it.
-    pub fn try_refine(&mut self, g: &Graph, budget: &Budget) -> Result<u64, DviclError> {
+    pub fn try_refine(
+        &mut self,
+        g: &Graph,
+        k: &mut dyn RefineKernel,
+        budget: &Budget,
+    ) -> Result<u64, DviclError> {
         self.seed_refine();
-        self.run(g, 0x5ee2_c3a1_d00d_f00d, Some(budget))
+        self.run(g, k, 0x5ee2_c3a1_d00d_f00d, Some(budget))
     }
 
     fn seed_refine(&mut self) {
@@ -190,12 +205,13 @@ impl Partition {
     }
 
     /// Individualizes `v` (splitting it to the front of its cell) and
-    /// refines with the two fragments as seeds. Panics if `v` is already in
-    /// a singleton cell. Returns the trace hash, seeded with `v`'s color —
-    /// an isomorphism-invariant of the branching decision.
-    pub fn individualize_and_refine(&mut self, g: &Graph, v: V) -> u64 {
+    /// refines with the two fragments as seeds, using `k`. Panics if `v`
+    /// is already in a singleton cell. Returns the trace hash, seeded
+    /// with `v`'s color — an isomorphism-invariant of the branching
+    /// decision.
+    pub fn individualize_and_refine(&mut self, g: &Graph, k: &mut dyn RefineKernel, v: V) -> u64 {
         let seed = self.seed_individualize(v);
-        self.run(g, seed, None)
+        self.run(g, k, seed, None)
             // dvicl-lint: allow(panic-freedom) -- run() only errs on budget exhaustion, and no budget is passed here
             .expect("un-budgeted refinement cannot fail")
     }
@@ -204,11 +220,12 @@ impl Partition {
     pub fn try_individualize_and_refine(
         &mut self,
         g: &Graph,
+        k: &mut dyn RefineKernel,
         v: V,
         budget: &Budget,
     ) -> Result<u64, DviclError> {
         let seed = self.seed_individualize(v);
-        self.run(g, seed, Some(budget))
+        self.run(g, k, seed, Some(budget))
     }
 
     // dvicl-lint: allow(budget-reachability) -- O(cell length) splice of {v} to the cell front; run() meters the refinement that follows
@@ -238,8 +255,18 @@ impl Partition {
     }
 
     /// Core worklist loop. `seed` initializes the trace hash; one work
-    /// unit is spent per splitter when a budget is supplied.
-    fn run(&mut self, g: &Graph, seed: u64, budget: Option<&Budget>) -> Result<u64, DviclError> {
+    /// unit is spent per splitter when a budget is supplied. The kernel
+    /// decides how each splitter's counts are computed; the loop, the
+    /// budget metering and the trace-per-splitter mix are
+    /// kernel-independent.
+    fn run(
+        &mut self,
+        g: &Graph,
+        k: &mut dyn RefineKernel,
+        seed: u64,
+        budget: Option<&Budget>,
+    ) -> Result<u64, DviclError> {
+        k.reset(g);
         let mut trace = seed;
         while let Some(s) = self.queue.pop_front() {
             dvicl_obs::bump(dvicl_obs::Counter::RefineRounds);
@@ -248,7 +275,7 @@ impl Partition {
             }
             self.in_queue[s as usize] = false;
             trace = mix(trace, 0xA110 ^ (s as u64) << 16);
-            trace = self.split_by(g, s, trace);
+            trace = k.split_by(self, g, s, trace);
             // Early exit: a discrete partition cannot split further.
             // (Checked cheaply: every cell len 1 iff no queue progress can
             // help, but scanning is O(n); rely on natural termination.)
@@ -256,61 +283,22 @@ impl Partition {
         Ok(trace)
     }
 
-    /// Uses the cell at start `s` as a splitter; returns the updated trace.
-    fn split_by(&mut self, g: &Graph, s: u32, mut trace: u64) -> u64 {
-        let len = self.cell_len[s as usize] as usize;
-        let s = s as usize;
-        // Snapshot the splitter's members (cells can move during splitting).
-        let splitter: Vec<V> = self.lab[s..s + len].to_vec();
-        // Count neighbors in the splitter.
-        let mut touched: Vec<V> = Vec::new();
-        for &u in &splitter {
-            for &w in g.neighbors(u) {
-                if self.cnt[w as usize] == 0 {
-                    touched.push(w);
-                }
-                self.cnt[w as usize] += 1;
-            }
-        }
-        if touched.is_empty() {
-            return trace;
-        }
-        // Group the touched vertices by their cell (flag-array dedup).
-        let mut affected_cells: Vec<u32> = Vec::new();
-        for &w in &touched {
-            let c = self.cell_start[w as usize];
-            if self.cell_len[c as usize] > 1 && !self.in_affected[c as usize] {
-                self.in_affected[c as usize] = true;
-                affected_cells.push(c);
-            }
-        }
-        affected_cells.sort_unstable();
-        for &c in &affected_cells {
-            self.in_affected[c as usize] = false;
-        }
-        for c in affected_cells {
-            trace = self.split_cell(c, trace);
-        }
-        // Clear counts.
-        for &w in &touched {
-            self.cnt[w as usize] = 0;
-        }
-        trace
-    }
-
-    /// Splits the cell starting at `c` by the current `cnt` values,
-    /// fragments ordered by ascending count. Enqueues all fragments.
-    fn split_cell(&mut self, c: u32, mut trace: u64) -> u64 {
-        let c = c as usize;
-        let len = self.cell_len[c] as usize;
-        // Gather (count, vertex) and sort by count; ties keep any order
-        // (within-fragment order is immaterial — sort fully for determinism
-        // of the output representation).
-        let mut members: Vec<(u32, V)> = self.lab[c..c + len]
-            .iter()
-            .map(|&v| (self.cnt[v as usize], v))
-            .collect();
-        members.sort_unstable();
+    /// The kernel-shared rewrite half of one cell split: takes the cell
+    /// at start `c` and its `members` as `(splitter-neighbor count,
+    /// vertex)` pairs sorted ascending, and performs the split —
+    /// Hopcroft's largest-fragment worklist exemption, the span/pos/cell
+    /// rewrite, singleton tracking, the per-fragment trace mix and
+    /// fragment enqueueing. Returns the updated trace (unchanged when
+    /// the counts are uniform and nothing splits).
+    ///
+    /// Every [`RefineKernel`] funnels its splits through here, which is
+    /// what pins their partitions and traces to each other: a kernel
+    /// only chooses *how counts are computed*, never how a split is
+    /// realized.
+    // dvicl-lint: allow(budget-reachability) -- O(cell length) rewrite of one cell span; run() meters the worklist that drives it
+    pub(crate) fn rewrite_split(&mut self, c: usize, members: &[(u32, V)], mut trace: u64) -> u64 {
+        let len = members.len();
+        debug_assert_eq!(len, self.cell_len[c] as usize);
         if members[0].0 == members[len - 1].0 {
             return trace; // no split
         }
